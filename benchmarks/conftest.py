@@ -1,0 +1,27 @@
+"""Benchmark-suite configuration.
+
+Each benchmark regenerates one of the paper's tables or figures at the
+``tiny`` scale (a few seconds per run), reports the simulator's throughput
+through pytest-benchmark, prints the regenerated rows/series, and asserts
+the paper's qualitative shape so a regression in *results* fails the run,
+not just a regression in speed.
+
+Run:  pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    Experiment runs simulate whole chip lifetimes; repeating them dozens of
+    times per benchmark would be waste, so a single timed round is used.
+    """
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def once():
+    return run_once

@@ -1,0 +1,162 @@
+"""Ablation benchmarks for the design choices DESIGN.md calls out.
+
+Not part of the paper's evaluation — these quantify our own design space:
+
+* randomizer choice for Start-Gap (Feistel vs full permutation vs the
+  restricted half-space variant LLS is stuck with);
+* remap-cache size sweep for the Table II access-time result;
+* engine-throughput measurements (exact vs fast) documenting why the
+  vectorized engine exists;
+* psi sensitivity (migration overhead vs leveling quality).
+"""
+
+import random
+
+import pytest
+
+from repro.config import CacheConfig, StartGapConfig
+from repro.ecc import ECP
+from repro.experiments.common import build_engine, scaled_parameters
+from repro.experiments.table2 import measure_access_time
+from repro.mc import RemapCache
+from repro.pcm import AddressGeometry, EnduranceModel, PCMChip
+from repro.sim import FastConfig, FastEngine
+from repro.traces import hotspot_distribution
+from repro.wl import StartGap, make_randomizer
+
+
+def lifetime_with_randomizer(kind: str) -> int:
+    num_blocks = 1024
+    geometry = AddressGeometry(num_blocks=num_blocks)
+    endurance = EnduranceModel(num_blocks=num_blocks, mean=800, cov=0.2,
+                               max_order=10, seed=3)
+    chip = PCMChip(geometry, ECP(endurance, 6))
+    randomizer = make_randomizer(kind, num_blocks - 1, seed=2)
+    wl = StartGap(num_blocks, config=StartGapConfig(psi=12),
+                  randomizer=randomizer)
+    trace = hotspot_distribution(num_blocks, 8.0, clustered=True, seed=9)
+    engine = FastEngine(chip, wl, trace,
+                        FastConfig(recovery="reviver", batch_writes=4000,
+                                   seed=1))
+    return engine.run().lifetime_writes
+
+
+def test_ablation_randomizer_choice(benchmark, once, capsys):
+    """Any static randomization clearly beats none; Feistel tracks a true
+    random permutation.  (The *restricted* variant's damage is systemic —
+    it shows through the full LLS composite in the Figure 8 benchmark
+    rather than in this isolated sweep.)"""
+    def sweep():
+        return {kind: lifetime_with_randomizer(kind)
+                for kind in ("feistel", "permutation", "restricted",
+                             "identity")}
+
+    lifetimes = once(benchmark, sweep)
+    with capsys.disabled():
+        print()
+        for kind, value in lifetimes.items():
+            print(f"  randomizer={kind:12s} lifetime={value:>12,}")
+    assert lifetimes["feistel"] > lifetimes["identity"]
+    assert lifetimes["permutation"] > lifetimes["identity"]
+    # Feistel approximates a true random permutation well.
+    ratio = lifetimes["feistel"] / lifetimes["permutation"]
+    assert 0.6 < ratio < 1.7
+
+
+def test_ablation_cache_size_sweep(benchmark, once, capsys):
+    """Access time converges to 1.0 as the remap cache grows (Table II)."""
+    params = scaled_parameters("tiny")
+
+    def sweep():
+        engine = build_engine(params, "mg", recovery="reviver",
+                              dead_fraction=0.3, stop_on_capacity=False)
+        engine.run()
+        times = {}
+        for entries in (0, 8, 64, 512):
+            cache = None
+            if entries:
+                cache = RemapCache(CacheConfig(capacity_entries=entries,
+                                               associativity=4))
+            times[entries] = measure_access_time(
+                engine, extra_accesses=1, samples=50_000, cache=cache)
+        return times
+
+    times = once(benchmark, sweep)
+    with capsys.disabled():
+        print()
+        for entries, value in times.items():
+            print(f"  cache={entries:>4} entries: "
+                  f"avg access = {value:.4f}")
+    assert times[512] <= times[8] <= times[0] + 1e-9
+
+
+def test_ablation_psi_sensitivity(benchmark, once, capsys):
+    """Smaller psi levels harder but pays more migration wear."""
+    def sweep():
+        out = {}
+        for psi in (4, 16, 64):
+            num_blocks = 1024
+            geometry = AddressGeometry(num_blocks=num_blocks)
+            endurance = EnduranceModel(num_blocks=num_blocks, mean=800,
+                                       cov=0.2, max_order=10, seed=3)
+            chip = PCMChip(geometry, ECP(endurance, 6))
+            wl = StartGap(num_blocks, config=StartGapConfig(psi=psi))
+            trace = hotspot_distribution(num_blocks, 8.0, seed=9)
+            engine = FastEngine(chip, wl, trace,
+                                FastConfig(recovery="reviver",
+                                           batch_writes=4000, seed=1))
+            out[psi] = engine.run().lifetime_writes
+        return out
+
+    lifetimes = once(benchmark, sweep)
+    with capsys.disabled():
+        print()
+        for psi, value in lifetimes.items():
+            print(f"  psi={psi:>3}: lifetime={value:>12,}")
+    assert all(value > 0 for value in lifetimes.values())
+
+
+def test_throughput_exact_engine(benchmark):
+    """Exact-engine throughput: per-write fidelity costs real time."""
+    from repro.config import ReviverConfig
+    from repro.mc import ReviverController
+    from repro.osmodel import PagePool
+
+    geometry = AddressGeometry(num_blocks=128, block_bytes=64,
+                               page_bytes=512)
+    endurance = EnduranceModel(num_blocks=128, mean=100_000, cov=0.25,
+                               max_order=8, seed=11)
+    chip = PCMChip(geometry, ECP(endurance, 1), track_contents=True)
+    wl = StartGap(128)
+    ospool = PagePool(wl.logical_blocks, blocks_per_page=8,
+                      utilization=0.8, seed=5)
+    controller = ReviverController(
+        chip, wl, ospool, reviver_config=ReviverConfig(),
+        copy_on_retire=True)
+    rng = random.Random(1)
+    space = controller.ospool.virtual_blocks
+
+    def write_block():
+        for _ in range(2_000):
+            controller.service_write(rng.randrange(space), tag=1)
+
+    benchmark.pedantic(write_block, rounds=3, iterations=1)
+
+
+def test_throughput_fast_engine(benchmark):
+    """Fast-engine throughput: vectorized epochs over the same stack."""
+    num_blocks = 4096
+    geometry = AddressGeometry(num_blocks=num_blocks)
+    endurance = EnduranceModel(num_blocks=num_blocks, mean=10**7, cov=0.2,
+                               max_order=10, seed=3)
+    chip = PCMChip(geometry, ECP(endurance, 6))
+    wl = StartGap(num_blocks, config=StartGapConfig(psi=8))
+    trace = hotspot_distribution(num_blocks, 8.0, seed=9)
+    engine = FastEngine(chip, wl, trace,
+                        FastConfig(recovery="reviver", batch_writes=50_000,
+                                   max_writes=10**9, seed=1))
+
+    def epoch_block():
+        engine._epoch(200_000)
+
+    benchmark.pedantic(epoch_block, rounds=3, iterations=1)

@@ -1,0 +1,37 @@
+"""Figure 5 benchmark: lifetime per benchmark, ECP6-SG vs ECP6-SG-WLR.
+
+Shape assertions (the paper's claims, Section IV-B):
+
+* the unrevived baseline's lifetime is anti-correlated with write CoV;
+* WL-Reviver improves every benchmark's lifetime (paper: +36%..+325% at
+  1 GB scale; scaled chips amplify the high-CoV end);
+* WL-Reviver's lifetimes vary far less across benchmarks.
+"""
+
+import numpy as np
+
+from repro.experiments import fig5
+
+BENCHMARKS = ["ocean", "radix", "blackscholes", "fft", "mg"]
+
+
+def test_fig5(benchmark, once, capsys):
+    result = once(benchmark, fig5.run, scale="tiny", benchmarks=BENCHMARKS)
+    with capsys.disabled():
+        print()
+        print(fig5.render(result))
+    rows = result.rows  # CoV-sorted
+    # WL-Reviver always wins, and substantially (>= 30%, the paper's floor).
+    for row in rows:
+        assert row.wlr_lifetime > row.sg_lifetime
+        assert row.improvement >= 0.30, row.benchmark
+    # Baseline lifetime decreases from the lowest-CoV to the highest-CoV
+    # benchmark (monotone trend over the spread, tolerant of local noise).
+    sg = [row.sg_lifetime for row in rows]
+    assert sg[0] == max(sg)
+    assert sg[-1] == min(sg)
+    correlation = np.corrcoef([row.write_cov for row in rows], sg)[0, 1]
+    assert correlation < 0.0
+    # Revival flattens the cross-benchmark variation.
+    wlr = [row.wlr_lifetime for row in rows]
+    assert max(sg) / min(sg) > max(wlr) / min(wlr)

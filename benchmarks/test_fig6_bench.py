@@ -1,0 +1,42 @@
+"""Figure 6 benchmark: survival curves for ocean and mg under six systems.
+
+Shape assertions (Section IV-B):
+
+* WL-Reviver extends every configuration it revives;
+* the improvement is larger for the biased mg than for ocean;
+* ECP6 gains more from revival than PAYG (whose pool is nearly drained
+  when the first failure shows).
+"""
+
+from repro.experiments import fig6
+
+SYSTEMS = ["ECP6", "PAYG", "ECP6-SG", "PAYG-SG",
+           "ECP6-SG-WLR", "PAYG-SG-WLR"]
+
+
+def test_fig6(benchmark, once, capsys):
+    result = once(benchmark, fig6.run, scale="tiny",
+                  benchmarks=["ocean", "mg"], systems=SYSTEMS)
+    with capsys.disabled():
+        print()
+        print(fig6.render(result))
+    milestones = fig6.as_dict(result)
+
+    for bench in ("ocean", "mg"):
+        rows = milestones[bench]
+        # Revival extends both ECC substrates.
+        assert rows["ECP6-SG-WLR"] > rows["ECP6-SG"], bench
+        assert rows["PAYG-SG-WLR"] > rows["PAYG-SG"], bench
+
+    # Revival matters more for the biased workload.
+    gain = {bench: milestones[bench]["ECP6-SG-WLR"]
+            / max(milestones[bench]["ECP6-SG"], 1)
+            for bench in ("ocean", "mg")}
+    assert gain["mg"] > gain["ocean"]
+
+    # ECP6's relative revival gain exceeds PAYG's (paper, Section IV-B).
+    ecp6_gain = (milestones["ocean"]["ECP6-SG-WLR"]
+                 / max(milestones["ocean"]["ECP6-SG"], 1))
+    payg_gain = (milestones["ocean"]["PAYG-SG-WLR"]
+                 / max(milestones["ocean"]["PAYG-SG"], 1))
+    assert ecp6_gain >= payg_gain * 0.9

@@ -1,0 +1,35 @@
+"""Figure 8 benchmark: software-usable space, LLS vs WL-Reviver.
+
+Shape assertions (Section IV-D):
+
+* LLS prevents the unrevived baseline's precipitous collapse but sustains
+  far fewer writes than WL-Reviver;
+* the ordering WL-Reviver > LLS > frozen baseline holds for both the
+  uniform-ish ocean and the biased mg ("the more uniform write
+  distribution of ocean barely helps" LLS close the gap).
+"""
+
+from repro.experiments import fig8
+
+
+def test_fig8(benchmark, once, capsys):
+    result = once(benchmark, fig8.run, scale="tiny",
+                  benchmarks=["ocean", "mg"])
+    with capsys.disabled():
+        print()
+        print(fig8.render(result))
+    milestones = fig8.as_dict(result)
+
+    for bench in ("ocean", "mg"):
+        rows = milestones[bench]
+        assert rows["WL-Reviver"] > rows["LLS"], bench
+        assert rows["LLS"] > rows["ECP6-SG"], bench
+
+    # LLS stays well behind WL-Reviver even on ocean (paper: the uniform
+    # distribution "barely helps" because of the restricted randomization).
+    assert milestones["ocean"]["LLS"] < 0.8 * milestones["ocean"]["WL-Reviver"]
+
+    # The LLS runs actually exercised chunk reservation.
+    for curve in result.curves:
+        if curve.system == "LLS":
+            assert curve.stats["lls_chunks"] >= 1

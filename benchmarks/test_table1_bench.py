@@ -1,0 +1,26 @@
+"""Table I benchmark: regenerate the workload-characterization table."""
+
+import pytest
+
+from repro.experiments import table1
+
+
+def test_table1(benchmark, once, capsys):
+    result = once(benchmark, table1.run, scale="small",
+                  sample_writes=500_000)
+    with capsys.disabled():
+        print()
+        print(table1.render(result))
+    data = table1.as_dict(result)
+    # Every realizable CoV is calibrated to the paper's value.
+    for name, row in data.items():
+        if row["paper"] < 20:
+            assert row["calibrated"] == pytest.approx(row["paper"], rel=0.03)
+    # The sampled CoV tracks the calibrated target closely.
+    for name, row in data.items():
+        assert row["sampled"] == pytest.approx(row["calibrated"], rel=0.10)
+    # The benchmark ordering by CoV matches Table I.
+    covs = [data[name]["calibrated"] for name in
+            ("ocean", "water-spatial", "radix", "blackscholes",
+             "streamcluster", "swaptions", "fft", "mg")]
+    assert covs == sorted(covs)

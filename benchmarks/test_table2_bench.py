@@ -1,0 +1,62 @@
+"""Table II benchmark: access time and usable space at fixed failure ratios.
+
+Shape assertions (Section IV-D):
+
+* with the remap cache both systems sit near 1.00 PCM accesses/request;
+* WL-Reviver's uncached penalty is 2 accesses vs LLS's 3, so LLS's
+  uncached access time is the larger of the two;
+* WL-Reviver retains more software-usable space than LLS at every ratio.
+"""
+
+import pytest
+
+from repro.experiments import table2
+from repro.experiments.common import build_engine, build_lls_engine, \
+    scaled_parameters
+from repro.experiments.table2 import measure_access_time
+
+
+def test_table2(benchmark, once, capsys):
+    result = once(benchmark, table2.run, scale="tiny",
+                  benchmarks=["mg", "ocean"], ratios=[0.10, 0.20, 0.30],
+                  samples=50_000)
+    with capsys.disabled():
+        print()
+        print(table2.render(result))
+    data = table2.as_dict(result)
+    for ratio, systems in data.items():
+        for bench in ("mg", "ocean"):
+            wlr = systems["WL-Reviver"][bench]
+            lls = systems["LLS"][bench]
+            assert 1.0 <= wlr["access_time"] < 1.1, (ratio, bench)
+            assert 1.0 <= lls["access_time"] < 1.1, (ratio, bench)
+            assert wlr["usable"] >= lls["usable"], (ratio, bench)
+    # More failures, less usable space, for both systems.
+    assert data["30%"]["WL-Reviver"]["ocean"]["usable"] < \
+        data["10%"]["WL-Reviver"]["ocean"]["usable"]
+
+
+def test_uncached_access_cost_ordering(benchmark, once, capsys):
+    """Without the cache, LLS pays 3 accesses per failed hit vs WLR's 2."""
+    params = scaled_parameters("tiny")
+
+    def measure():
+        engine = build_engine(params, "ocean", recovery="reviver",
+                              dead_fraction=0.2, stop_on_capacity=False)
+        engine.run()
+        # Same aged chip, same sampled stream: cost with WLR's 1-extra
+        # penalty versus LLS's 2-extra penalty.
+        as_wlr = measure_access_time(engine, extra_accesses=1,
+                                     samples=50_000, seed=17)
+        as_lls = measure_access_time(engine, extra_accesses=2,
+                                     samples=50_000, seed=17)
+        return as_wlr, as_lls
+
+    wlr_time, lls_time = once(benchmark, measure)
+    with capsys.disabled():
+        print(f"\nuncached access time on the same aged chip: "
+              f"2-access model={wlr_time:.4f} 3-access model={lls_time:.4f}")
+    assert wlr_time > 1.0, "the aged chip must produce redirections"
+    # LLS's extra bitmap read doubles the redirection penalty exactly.
+    assert (lls_time - 1.0) == pytest.approx(2.0 * (wlr_time - 1.0),
+                                             rel=1e-6)

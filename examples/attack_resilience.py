@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Attack resilience: does revival survive malicious write streams?
+
+Start-Gap and Security Refresh were designed to withstand adversarial
+workloads such as Seznec's birthday-paradox attack; the WL-Reviver paper
+argues the benefit of revival is "still substantial" under highly biased
+or malicious writes.  This example compares chip lifetime under three
+adversarial streams for the frozen baseline versus the revived system,
+using the vectorized lifetime engine.
+
+Run:  python examples/attack_resilience.py
+"""
+
+from repro.config import StartGapConfig
+from repro.ecc import ECP
+from repro.pcm import AddressGeometry, EnduranceModel, PCMChip
+from repro.sim import FastConfig, FastEngine
+from repro.traces import birthday_paradox_attack, hammer_attack
+from repro.traces.synthetic import hotspot_distribution
+from repro.wl import StartGap
+
+NUM_BLOCKS = 1 << 11
+MEAN_ENDURANCE = 1_000
+PSI = 10
+
+
+def build_engine(trace, recovery: str) -> FastEngine:
+    geometry = AddressGeometry(num_blocks=NUM_BLOCKS)
+    endurance = EnduranceModel(num_blocks=NUM_BLOCKS, mean=MEAN_ENDURANCE,
+                               cov=0.2, max_order=12, seed=5)
+    chip = PCMChip(geometry, ECP(endurance, 6))
+    wear_leveler = StartGap(NUM_BLOCKS, config=StartGapConfig(psi=PSI))
+    return FastEngine(chip, wear_leveler, trace,
+                      FastConfig(recovery=recovery, batch_writes=5_000,
+                                 seed=2))
+
+
+def main() -> None:
+    attacks = [
+        ("birthday-paradox (64 addresses)",
+         birthday_paradox_attack(NUM_BLOCKS, set_size=64, seed=3)),
+        ("hammer (8 addresses)",
+         hammer_attack(NUM_BLOCKS, targets=8, seed=3)),
+        ("hot region (CoV 10)",
+         hotspot_distribution(NUM_BLOCKS, target_cov=10.0, seed=3)),
+    ]
+    print(f"{NUM_BLOCKS} blocks, mean endurance {MEAN_ENDURANCE}, "
+          f"Start-Gap psi={PSI}; lifetime = writes to lose 30% of capacity\n")
+    print(f"{'attack':34s} {'frozen SG':>14s} {'SG + WL-Reviver':>16s} "
+          f"{'gain':>8s}")
+    for name, trace in attacks:
+        frozen = build_engine(trace, "none").run().lifetime_writes
+        revived = build_engine(trace, "reviver").run().lifetime_writes
+        gain = revived / max(frozen, 1) - 1.0
+        print(f"{name:34s} {frozen:>14,} {revived:>16,} {gain:>7.0%}")
+    print("\nRevival keeps the wear-leveler fighting the attack instead of"
+          "\nsurrendering the chip at the first casualty.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+#!/usr/bin/env python
+"""FREE-p's reservation dilemma versus WL-Reviver's implicit acquisition.
+
+The adapted FREE-p of the paper's Section IV-C must choose its remap
+reserve up front: too small and the reserve exhausts early (the
+wear-leveler then dies at the next failure); too large and the sacrificed
+capacity itself shortens life.  WL-Reviver sidesteps the dilemma by
+reserving *virtual* space one OS page at a time, only when failures
+actually demand it.  This example sweeps the reserve and prints the
+usable-space milestones next to WL-Reviver's.
+
+Run:  python examples/freep_vs_reviver.py [--benchmark ocean|mg|...]
+"""
+
+import argparse
+
+from repro.experiments.common import build_engine, scaled_parameters
+from repro.experiments.report import format_table
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--benchmark", default="mg")
+    parser.add_argument("--scale", default="tiny",
+                        choices=["tiny", "small"])
+    args = parser.parse_args()
+
+    params = scaled_parameters(args.scale)
+    rows = []
+    for reserve in (0.02, 0.05, 0.10, 0.15, 0.20):
+        engine = build_engine(params, args.benchmark, recovery="freep",
+                              freep_reserve=reserve, dead_fraction=0.4)
+        engine.run()
+        rows.append([
+            f"FREE-p {reserve:.0%}",
+            f"{1.0 - reserve:.0%}",
+            f"{engine.series.writes_to_usable(0.7) or 0:,}",
+            f"{engine.region.slots_total - engine.region.slots_remaining}"
+            f"/{engine.region.slots_total}",
+            "yes" if engine.wl.frozen else "no",
+        ])
+    reviver = build_engine(params, args.benchmark, recovery="reviver",
+                           dead_fraction=0.4)
+    reviver.run()
+    rows.append([
+        "WL-Reviver",
+        "100%",
+        f"{reviver.series.writes_to_usable(0.7) or 0:,}",
+        f"{reviver.ledger.pages_acquired} pages (on demand)",
+        "no",
+    ])
+    headers = ["System", "Usable at start", "Writes to 70% usable",
+               "Reserve used", "WL died"]
+    print(format_table(
+        headers, rows,
+        title=f"FREE-p reserve sweep vs WL-Reviver "
+              f"({args.benchmark}, scale={args.scale})"))
+    print("\nFREE-p pays for its reserve whether failures come or not and "
+          "collapses when it\nguesses low; WL-Reviver starts at 100% and "
+          "grows its reserve one page per ~60\nfailures, with the "
+          "wear-leveler running throughout.")
+
+
+if __name__ == "__main__":
+    main()

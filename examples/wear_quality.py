@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Wear quality: what revival does to the *distribution* of wear.
+
+Lifetime numbers say who survives longest; wear statistics say why.  This
+example runs the same skewed workload over four configurations and prints
+their end-of-life wear reports: CoV and Gini coefficient of per-block
+wear, and how much of the chip's total endurance budget was actually
+delivered before death.  A frozen wear-leveler strands almost all of it;
+a revived one keeps consuming the budget evenly to the end.
+
+Also demonstrates RegionedStartGap — the per-region deployment of
+Start-Gap — running unmodified under the framework.
+
+Run:  python examples/wear_quality.py
+"""
+
+from repro.config import StartGapConfig
+from repro.ecc import ECP
+from repro.pcm import AddressGeometry, EnduranceModel, PCMChip
+from repro.sim import FastConfig, FastEngine, WearReport
+from repro.traces import hotspot_distribution
+from repro.wl import NoWL, RegionedStartGap, StartGap
+
+NUM_BLOCKS = 2048
+MEAN_ENDURANCE = 1_000
+PSI = 8
+
+
+def run(label: str, wl_factory, recovery: str):
+    geometry = AddressGeometry(num_blocks=NUM_BLOCKS)
+    endurance = EnduranceModel(num_blocks=NUM_BLOCKS, mean=MEAN_ENDURANCE,
+                               cov=0.2, max_order=12, seed=5)
+    chip = PCMChip(geometry, ECP(endurance, 6))
+    trace = hotspot_distribution(NUM_BLOCKS, target_cov=9.0, seed=3)
+    engine = FastEngine(chip, wl_factory(), trace,
+                        FastConfig(recovery=recovery, batch_writes=5_000,
+                                   seed=2))
+    summary = engine.run()
+    report = WearReport.of(chip)
+    return label, summary.lifetime_writes, report
+
+
+def main() -> None:
+    configs = [
+        ("identity, no recovery", lambda: NoWL(NUM_BLOCKS), "none"),
+        ("Start-Gap, frozen at 1st failure",
+         lambda: StartGap(NUM_BLOCKS, config=StartGapConfig(psi=PSI)),
+         "none"),
+        ("Start-Gap + WL-Reviver",
+         lambda: StartGap(NUM_BLOCKS, config=StartGapConfig(psi=PSI)),
+         "reviver"),
+        ("identity + WL-Reviver", lambda: NoWL(NUM_BLOCKS), "reviver"),
+        ("Regioned Start-Gap + WL-Reviver",
+         lambda: RegionedStartGap(NUM_BLOCKS, num_regions=4,
+                                  config=StartGapConfig(psi=PSI)),
+         "reviver"),
+    ]
+    print(f"{NUM_BLOCKS} blocks, skewed workload (CoV 9), "
+          f"run to 30% capacity lost\n")
+    print(f"{'configuration':34s} {'lifetime':>12s} {'wear CoV':>9s} "
+          f"{'Gini':>6s} {'budget used':>12s}")
+    rows = [run(*config) for config in configs]
+    for label, lifetime, report in rows:
+        print(f"{label:34s} {lifetime:>12,} {report.cov:>9.3f} "
+              f"{report.gini:>6.3f} {report.utilization:>11.1%}")
+    print(
+        "\nRevival is what lets the leveler keep spending the endurance "
+        "budget: the frozen\nconfiguration dies having used a sliver of "
+        "the chip's writes, while the revived\none exits with low Gini "
+        "(even wear) and several times the delivered lifetime.")
+
+
+if __name__ == "__main__":
+    main()

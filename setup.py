@@ -1,0 +1,6 @@
+"""Setup shim: lets `python setup.py develop` work in offline environments
+lacking the `wheel` package (PEP 660 editable installs require it).
+All real metadata lives in pyproject.toml."""
+from setuptools import setup
+
+setup()

@@ -1,0 +1,35 @@
+"""WL-Reviver reproduction (DSN 2014).
+
+A from-scratch implementation of the paper's full system stack: the PCM
+device and endurance model, error-correction substrates, wear-leveling
+schemes, the OS page model, the WL-Reviver framework itself, the FREE-p and
+LLS baselines, calibrated synthetic workloads, two simulation engines, and
+an experiment harness regenerating every table and figure of the paper's
+evaluation.
+
+Typical assembly (see README.md and the examples/ directory):
+
+>>> from repro.ecc import ECP
+>>> from repro.mc import ReviverController
+>>> from repro.osmodel import PagePool
+>>> from repro.pcm import AddressGeometry, EnduranceModel, PCMChip
+>>> from repro.wl import StartGap
+>>> geometry = AddressGeometry(num_blocks=1024)
+>>> endurance = EnduranceModel(num_blocks=1024, mean=2000.0)
+>>> chip = PCMChip(geometry, ECP(endurance, 6), track_contents=True)
+>>> leveler = StartGap(chip.num_blocks)
+>>> system = ReviverController(chip, leveler,
+...                            PagePool(leveler.logical_blocks))
+>>> _ = system.service_write(7, tag=42)
+>>> system.service_read(7).tag
+42
+"""
+
+from . import config, ecc, errors, lls, mc, osmodel, pcm, sim, traces, wl
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "config", "ecc", "errors", "lls", "mc", "osmodel", "pcm", "sim",
+    "traces", "wl", "__version__",
+]

@@ -1,0 +1,27 @@
+"""Error-correction substrates.
+
+These schemes decide *when a block becomes uncorrectable* given the per-cell
+failure times sampled by :mod:`repro.pcm.endurance`:
+
+* :class:`~repro.ecc.ecp.ECP` — Error-Correcting Pointers (Schechter et al.,
+  ISCA'10): a fixed number of correction entries per 512-bit group.  The
+  paper's baseline is ECP6 (61 metadata bits per group).
+* :class:`~repro.ecc.payg.PAYG` — Pay-As-You-Go (Qureshi, MICRO'11): ECP1
+  locally plus a global pool of overflow entries allocated on demand
+  (an average budget of 19.5 metadata bits per group in the paper's setup).
+* :class:`~repro.ecc.none.NoECC` — no correction; first cell death kills the
+  block (used in ablations).
+* :class:`~repro.ecc.freep.FreePRegion` — the *adapted FREE-p* of Section
+  IV-C: a pre-reserved remap region supplying free slots that hide failed
+  blocks until the region is exhausted.  It is a recovery layer rather than
+  a bit-level code, but lives here because the paper evaluates it in the
+  same role (postponing the first failure a wear-leveling scheme sees).
+"""
+
+from .base import ErrorCorrection
+from .ecp import ECP
+from .payg import PAYG
+from .none import NoECC
+from .freep import FreePRegion
+
+__all__ = ["ErrorCorrection", "ECP", "PAYG", "NoECC", "FreePRegion"]

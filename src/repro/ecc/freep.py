@@ -1,0 +1,103 @@
+"""Adapted FREE-p: a pre-reserved remap region hiding failed blocks.
+
+FREE-p (Yoon et al., HPCA 2011) hides a failed block by embedding, in the
+failed block's surviving cells, a pointer to a healthy *free slot*.  As
+published, it acquires slot space incrementally with OS support and records
+slot DAs directly in failed blocks — which a wear-leveling scheme breaks the
+moment it migrates slot data (Section I-D, third issue).
+
+The WL-Reviver paper therefore evaluates an *adapted* FREE-p (Section IV-C):
+a fixed percentage of the PCM is pre-reserved as the remap region.  Those
+slots sit outside the wear-leveling working space (the WL scheme never maps
+PAs onto them), so direct DA pointers stay valid.  The cost is the reduced
+working space and the hard cliff when slots run out: the next failure is
+exposed to the WL scheme, which ceases to function.
+
+This class is pure bookkeeping — slot allocation and link resolution — and
+is driven by the simulation engines.  Slot DAs are the top ``reserve``
+fraction of the device space; the WL scheme is configured over the remaining
+bottom part.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..errors import CapacityExhaustedError, ConfigurationError
+
+
+class FreePRegion:
+    """Slot allocator and failed-block link table for adapted FREE-p."""
+
+    def __init__(self, num_blocks: int, reserve_fraction: float) -> None:
+        if not 0.0 <= reserve_fraction < 1.0:
+            raise ConfigurationError("reserve_fraction must be in [0, 1)")
+        self.num_blocks = num_blocks
+        self.reserve_fraction = reserve_fraction
+        self.reserved_blocks = int(num_blocks * reserve_fraction)
+        #: First DA of the remap region; DAs below it form the WL space.
+        self.region_base = num_blocks - self.reserved_blocks
+        self._next_slot = self.region_base
+        #: failed DA -> slot DA currently hiding it.
+        self.links: Dict[int, int] = {}
+        #: slot DA -> failed DA it serves (reverse map, for slot failures).
+        self._reverse: Dict[int, int] = {}
+
+    # -------------------------------------------------------------- capacity
+
+    @property
+    def working_blocks(self) -> int:
+        """Blocks left to the wear-leveling scheme."""
+        return self.region_base
+
+    @property
+    def slots_total(self) -> int:
+        """Total slots in the remap region."""
+        return self.reserved_blocks
+
+    @property
+    def slots_remaining(self) -> int:
+        """Unlinked slots still available."""
+        return self.num_blocks - self._next_slot
+
+    @property
+    def exhausted(self) -> bool:
+        """True once no free slot remains."""
+        return self.slots_remaining == 0
+
+    def is_slot(self, da: int) -> bool:
+        """Whether *da* lies inside the remap region."""
+        return da >= self.region_base
+
+    # ----------------------------------------------------------------- links
+
+    def link(self, failed_da: int) -> int:
+        """Hide *failed_da* behind the next free slot; return the slot DA.
+
+        If *failed_da* is itself a slot that failed while serving another
+        block, the served block is re-pointed at the new slot (FREE-p
+        rewrites the pointer chain so lookups stay one hop).
+        """
+        if self.exhausted:
+            raise CapacityExhaustedError("FREE-p remap region exhausted")
+        slot = self._next_slot
+        self._next_slot += 1
+        origin = failed_da
+        if failed_da in self._reverse:
+            # A slot died: relink the original failed block it was serving.
+            origin = self._reverse.pop(failed_da)
+        self.links[origin] = slot
+        self._reverse[slot] = origin
+        return slot
+
+    def resolve(self, da: int) -> int:
+        """Follow the link of *da* if it has one (always at most one hop)."""
+        return self.links.get(da, da)
+
+    def is_linked(self, da: int) -> bool:
+        """Whether *da* is a failed block hidden behind a slot."""
+        return da in self.links
+
+    def serving(self, slot: int) -> Optional[int]:
+        """The failed DA a *slot* serves, or ``None`` if it is free/unused."""
+        return self._reverse.get(slot)

@@ -1,0 +1,35 @@
+"""No error correction: a block dies with its first cell.
+
+Used by ablation experiments to isolate how much lifetime the ECC layer
+itself contributes versus wear leveling and WL-Reviver.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..pcm.endurance import EnduranceModel
+from .base import ErrorCorrection
+
+
+class NoECC(ErrorCorrection):
+    """Threshold equals the first cell-death time; nothing is correctable."""
+
+    def __init__(self, endurance: EnduranceModel) -> None:
+        super().__init__(endurance)
+        self._thresholds = endurance.nth_failure(1).copy()
+
+    @property
+    def thresholds(self) -> np.ndarray:
+        return self._thresholds
+
+    def try_extend(self, da: int) -> bool:
+        return False
+
+    @property
+    def metadata_bits_per_group(self) -> float:
+        return 0.0
+
+    @property
+    def name(self) -> str:
+        return "NoECC"

@@ -1,0 +1,137 @@
+"""Storing pointers inside failed blocks (FREE-p's trick, Section III-B).
+
+WL-Reviver records each failed block's virtual-shadow PA *in the failed
+block itself*.  That sounds paradoxical — the block is dead — but a block
+is declared failed when it has more stuck-at cells than its ECC corrects
+(7+ of 512 for ECP6), leaving hundreds of working cells.  FREE-p shows a
+32-bit pointer survives in such a block under **7-modular redundancy**:
+each pointer bit is replicated in 7 consecutive cells and decoded by
+majority vote, which tolerates up to 3 stuck-at cells *per 7-cell group*.
+The WL-Reviver paper adopts the same approach.
+
+This module implements the code bit-exactly over a simulated 512-bit block
+with stuck-at faults (a stuck cell reads a fixed value regardless of what
+is written), so the framework's "the pointer is recoverable" assumption is
+demonstrated rather than asserted.  :class:`StuckAtBlock` doubles as a
+small fault-injection substrate for tests.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, derive_rng
+
+#: Replication factor of the modular-redundancy code (FREE-p's choice).
+REPLICAS = 7
+#: Pointer width the paper assumes (Section III-B's example).
+POINTER_BITS = 32
+#: Cells needed to store one pointer under 7-MR.
+CODEWORD_CELLS = REPLICAS * POINTER_BITS
+
+
+class StuckAtBlock:
+    """A block of cells, some permanently stuck at a fixed value.
+
+    PCM's hard faults are stuck-at: the cell keeps returning one value no
+    matter what is written (the paper contrasts this with DRAM's transient
+    errors).  Writes to healthy cells take effect; writes to stuck cells
+    are silently lost, exactly the hardware behaviour the codes fight.
+    """
+
+    def __init__(self, cells: int = 512, stuck: Optional[Dict[int, int]] = None):
+        if cells <= 0:
+            raise ConfigurationError("cells must be positive")
+        self.cells = cells
+        self.values = np.zeros(cells, dtype=np.uint8)
+        self.stuck: Dict[int, int] = {}
+        if stuck:
+            for position, value in stuck.items():
+                self.stick(position, value)
+
+    def stick(self, position: int, value: int) -> None:
+        """Permanently wedge a cell at *value*."""
+        if not 0 <= position < self.cells:
+            raise ConfigurationError(f"cell {position} out of range")
+        self.stuck[position] = value & 1
+        self.values[position] = value & 1
+
+    @classmethod
+    def with_random_faults(cls, cells: int = 512, faults: int = 8,
+                           seed: SeedLike = None) -> "StuckAtBlock":
+        """A block with *faults* stuck cells at seeded random positions."""
+        rng = derive_rng(seed, "stuck-at")
+        block = cls(cells)
+        positions = rng.choice(cells, size=min(faults, cells), replace=False)
+        for position in positions:
+            block.stick(int(position), int(rng.integers(0, 2)))
+        return block
+
+    def write_bits(self, start: int, bits: np.ndarray) -> None:
+        """Write a bit vector at *start*; stuck cells ignore the write."""
+        end = start + len(bits)
+        if not 0 <= start <= end <= self.cells:
+            raise ConfigurationError("write outside the block")
+        for offset, bit in enumerate(bits):
+            position = start + offset
+            if position in self.stuck:
+                continue
+            self.values[position] = bit & 1
+
+    def read_bits(self, start: int, count: int) -> np.ndarray:
+        """Read *count* cells from *start* (stuck cells return their value)."""
+        if not 0 <= start <= start + count <= self.cells:
+            raise ConfigurationError("read outside the block")
+        return self.values[start:start + count].copy()
+
+    @property
+    def fault_count(self) -> int:
+        """Number of stuck cells."""
+        return len(self.stuck)
+
+
+def encode_pointer(block: StuckAtBlock, pointer: int,
+                   pointer_bits: int = POINTER_BITS) -> None:
+    """Store *pointer* in *block* under 7-modular redundancy.
+
+    Bit *i* of the pointer occupies cells ``[7i, 7i+7)``.  The write is
+    performed through the block's stuck-at semantics, so encoding into a
+    damaged block behaves exactly like the hardware would.
+    """
+    if not 0 <= pointer < (1 << pointer_bits):
+        raise ConfigurationError(f"pointer {pointer} exceeds "
+                                 f"{pointer_bits} bits")
+    if block.cells < REPLICAS * pointer_bits:
+        raise ConfigurationError("block too small for the codeword")
+    for bit_index in range(pointer_bits):
+        bit = (pointer >> bit_index) & 1
+        replica = np.full(REPLICAS, bit, dtype=np.uint8)
+        block.write_bits(bit_index * REPLICAS, replica)
+
+
+def decode_pointer(block: StuckAtBlock,
+                   pointer_bits: int = POINTER_BITS) -> int:
+    """Recover the pointer by per-group majority vote."""
+    if block.cells < REPLICAS * pointer_bits:
+        raise ConfigurationError("block too small for the codeword")
+    pointer = 0
+    for bit_index in range(pointer_bits):
+        group = block.read_bits(bit_index * REPLICAS, REPLICAS)
+        if int(group.sum()) * 2 > REPLICAS:
+            pointer |= 1 << bit_index
+    return pointer
+
+
+def max_tolerated_faults_per_group() -> int:
+    """Stuck cells one 7-cell group survives: floor((7-1)/2) = 3."""
+    return (REPLICAS - 1) // 2
+
+
+def pointer_survives(block: StuckAtBlock, pointer: int,
+                     pointer_bits: int = POINTER_BITS) -> bool:
+    """Encode-then-decode round trip against the block's fault pattern."""
+    encode_pointer(block, pointer, pointer_bits)
+    return decode_pointer(block, pointer_bits) == pointer

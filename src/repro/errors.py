@@ -1,0 +1,66 @@
+"""Exception hierarchy for the WL-Reviver reproduction.
+
+All library-raised exceptions derive from :class:`ReproError` so that callers
+can catch everything coming from this package with one handler while still
+being able to distinguish configuration mistakes from simulated hardware
+events.
+
+Two of the classes here are *not* error conditions in the usual sense:
+:class:`WriteFault` and :class:`UncorrectableError` model hardware events
+(a PCM block wearing out) that the memory controller is expected to catch and
+handle.  They are exceptions because that is exactly how the hardware
+behaves: the event interrupts the normal access path.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by :mod:`repro`."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is inconsistent or out of range."""
+
+
+class AddressError(ReproError):
+    """An address is outside the valid PA or DA range."""
+
+
+class CapacityExhaustedError(ReproError):
+    """A finite resource (spare slots, OS pages, pool entries) ran out."""
+
+
+class ProtocolError(ReproError):
+    """An internal protocol invariant was violated.
+
+    Raised by invariant checkers (e.g. a chain longer than one step, a
+    migration into a PA-DA loop).  Seeing this exception means a bug in the
+    framework logic, never a simulated hardware event.
+    """
+
+
+class WriteFault(ReproError):
+    """A write to a PCM block could not be completed (block wore out).
+
+    Attributes
+    ----------
+    da:
+        Device address of the block on which the write failed.
+    """
+
+    def __init__(self, da: int, message: str = "") -> None:
+        super().__init__(message or f"write fault at device address {da}")
+        self.da = da
+
+
+class UncorrectableError(ReproError):
+    """A block accumulated more cell faults than its ECC scheme corrects."""
+
+    def __init__(self, da: int, message: str = "") -> None:
+        super().__init__(message or f"uncorrectable error at device address {da}")
+        self.da = da
+
+
+class SimulationEnded(ReproError):
+    """Internal signal: a stop condition of the simulation was reached."""

@@ -1,0 +1,31 @@
+"""Experiment harness: one runner per table and figure of the paper.
+
+Each module exposes a ``run(scale=...)`` function returning a structured
+result plus a ``render(result)`` producing the same rows/series the paper
+reports, and registers itself with the CLI
+(``python -m repro.experiments <experiment>`` or the ``repro-experiments``
+entry point).
+
+Scales: every experiment accepts ``scale`` in ``{"tiny", "small", "full"}``
+controlling the chip size and endurance (see
+:func:`repro.experiments.common.scaled_parameters`).  ``tiny`` is what the
+pytest-benchmark suite runs; ``small`` gives publication-shaped curves in
+minutes; ``full`` is the largest configuration that is still tractable in
+pure Python.
+"""
+
+from . import attacks, common, report, table1, fig5, fig6, fig7, fig8, table2
+
+EXPERIMENTS = {
+    "table1": table1,
+    "fig5": fig5,
+    "fig6": fig6,
+    "fig7": fig7,
+    "fig8": fig8,
+    "table2": table2,
+    # Beyond the numbered figures: the paper's malicious-wear claim.
+    "attacks": attacks,
+}
+
+__all__ = ["EXPERIMENTS", "attacks", "common", "report",
+           "table1", "fig5", "fig6", "fig7", "fig8", "table2"]

@@ -1,0 +1,81 @@
+"""Command-line entry point for the experiment harness.
+
+Examples::
+
+    python -m repro.experiments table1
+    python -m repro.experiments fig5 --scale small
+    python -m repro.experiments all --scale tiny
+    repro-experiments fig7 --benchmarks ocean
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+from . import EXPERIMENTS
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The harness CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Regenerate the WL-Reviver paper's tables and figures.")
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["all"],
+                        help="which table/figure to regenerate")
+    parser.add_argument("--scale", default="small",
+                        choices=["tiny", "small", "full"],
+                        help="chip scale (default: small)")
+    parser.add_argument("--benchmarks", nargs="*", default=None,
+                        help="restrict to these benchmarks where applicable")
+    parser.add_argument("--seed", type=int, default=1,
+                        help="experiment seed (default: 1)")
+    parser.add_argument("--json", type=Path, default=None, metavar="FILE",
+                        help="also dump machine-readable results as JSON")
+    return parser
+
+
+def run_experiment(name: str, scale: str, seed: int,
+                   benchmarks: Optional[List[str]]) -> tuple:
+    """Run one experiment; returns (rendered report, machine-readable)."""
+    module = EXPERIMENTS[name]
+    kwargs = {"scale": scale, "seed": seed}
+    if benchmarks and name != "table1":
+        kwargs["benchmarks"] = benchmarks
+    if name == "table1":
+        kwargs.pop("seed")
+    started = time.time()
+    result = module.run(**kwargs)
+    rendered = module.render(result)
+    elapsed = time.time() - started
+    return (f"{rendered}\n[{name}: {elapsed:.1f}s]",
+            module.as_dict(result))
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI main; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    names = sorted(EXPERIMENTS) if args.experiment == "all" \
+        else [args.experiment]
+    collected = {}
+    for name in names:
+        rendered, data = run_experiment(name, args.scale, args.seed,
+                                        args.benchmarks)
+        collected[name] = data
+        print(rendered)
+        print()
+    if args.json is not None:
+        payload = {"scale": args.scale, "seed": args.seed,
+                   "results": collected}
+        args.json.write_text(json.dumps(payload, indent=2, sort_keys=True))
+        print(f"[wrote {args.json}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,90 @@
+"""Figure 6 — survival-rate curves for *ocean* and *mg*.
+
+The paper plots the percentage of memory capacity still usable (down to
+70 %) against writes, for six systems per benchmark:
+
+``ECP6``, ``PAYG`` (no wear leveling), ``ECP6-SG``, ``PAYG-SG``, and the
+revived ``ECP6-SG-WLR``, ``PAYG-SG-WLR``.
+
+Expected shape: the no-WL systems drop almost immediately; Start-Gap helps
+*ocean* far more than *mg*; PAYG postpones the first failure; WL-Reviver
+extends every curve, much more for *mg*, and the ECP6 systems gain more
+from revival than the PAYG ones (whose pool is nearly drained when failures
+start).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..sim.metrics import LifetimeSeries
+from .common import SYSTEM_CONFIGS, build_engine, scaled_parameters
+from .report import format_series
+
+
+@dataclass(frozen=True)
+class Fig6Curve:
+    """One system's survival curve."""
+
+    system: str
+    benchmark: str
+    series: LifetimeSeries
+
+
+@dataclass(frozen=True)
+class Fig6Result:
+    """All curves for the requested benchmarks."""
+
+    curves: List[Fig6Curve]
+    scale: str
+    floor: float = 0.7
+
+
+def run(scale: str = "small",
+        benchmarks: Optional[List[str]] = None,
+        systems: Optional[List[str]] = None,
+        seed: int = 1) -> Fig6Result:
+    """Produce the survival series for every (benchmark, system) pair."""
+    params = scaled_parameters(scale)
+    benches = benchmarks if benchmarks is not None else ["ocean", "mg"]
+    names = systems if systems is not None else list(SYSTEM_CONFIGS)
+    curves = []
+    for bench in benches:
+        for system in names:
+            engine = build_engine(params, bench, seed=seed,
+                                  label=f"{bench}/{system}",
+                                  **SYSTEM_CONFIGS[system])
+            engine.run()
+            curves.append(Fig6Curve(system=system, benchmark=bench,
+                                    series=engine.series))
+    return Fig6Result(curves=curves, scale=scale)
+
+
+def render(result: Fig6Result) -> str:
+    """Sparkline per curve plus the lifetime-to-70% milestones."""
+    lines = [f"Figure 6: usable-capacity curves (floor {result.floor:.0%}, "
+             f"scale={result.scale})"]
+    for bench in sorted({c.benchmark for c in result.curves}):
+        lines.append(f"\n[{bench}]")
+        for curve in result.curves:
+            if curve.benchmark != bench:
+                continue
+            writes = [p.writes for p in curve.series.points]
+            usable = [p.usable for p in curve.series.points]
+            lines.append(format_series(curve.system, writes, usable,
+                                       lo=result.floor, hi=1.0))
+            milestone = curve.series.writes_to_usable(result.floor)
+            lines.append(f"{'':24s} writes to {result.floor:.0%} usable: "
+                         f"{milestone:,}" if milestone is not None else
+                         f"{'':24s} never dropped to {result.floor:.0%}")
+    return "\n".join(lines)
+
+
+def as_dict(result: Fig6Result) -> Dict[str, Dict[str, Optional[int]]]:
+    """Lifetime-to-70% milestones keyed by benchmark and system."""
+    table: Dict[str, Dict[str, Optional[int]]] = {}
+    for curve in result.curves:
+        table.setdefault(curve.benchmark, {})[curve.system] = \
+            curve.series.writes_to_usable(result.floor)
+    return table

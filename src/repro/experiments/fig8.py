@@ -1,0 +1,96 @@
+"""Figure 8 — software-usable space under ongoing writes: LLS vs WL-Reviver.
+
+For *ocean* and *mg*, the paper compares how software-usable PCM space
+shrinks as writes proceed under LLS and under WL-Reviver (both over ECP6 +
+Start-Gap).  Expected shape: LLS prevents the precipitous collapse of the
+unrevived baseline but sustains far fewer writes than WL-Reviver — mainly
+because it must restrict Start-Gap's address randomization to half-space
+swaps, and secondarily because chunk-granularity reservation strands idle
+blocks; *ocean*'s more uniform writes "barely help".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..sim.metrics import LifetimeSeries
+from .common import build_engine, build_lls_engine, scaled_parameters
+from .report import format_series
+
+
+@dataclass(frozen=True)
+class Fig8Curve:
+    """One system's usable-space curve."""
+
+    system: str
+    benchmark: str
+    series: LifetimeSeries
+    stats: dict
+
+
+@dataclass(frozen=True)
+class Fig8Result:
+    """All curves for the requested benchmarks."""
+
+    curves: List[Fig8Curve]
+    scale: str
+
+
+def run(scale: str = "small",
+        benchmarks: Optional[List[str]] = None,
+        include_baseline: bool = True,
+        seed: int = 1) -> Fig8Result:
+    """Produce the usable-space series for LLS, WLR (and the baseline)."""
+    params = scaled_parameters(scale)
+    benches = benchmarks if benchmarks is not None else ["ocean", "mg"]
+    curves = []
+    for bench in benches:
+        wlr = build_engine(params, bench, recovery="reviver",
+                           dead_fraction=0.4, seed=seed,
+                           label=f"{bench}/WL-Reviver")
+        wlr.run()
+        curves.append(Fig8Curve(system="WL-Reviver", benchmark=bench,
+                                series=wlr.series, stats=wlr.stats()))
+        lls = build_lls_engine(params, bench, dead_fraction=0.4, seed=seed,
+                               label=f"{bench}/LLS")
+        lls.run()
+        curves.append(Fig8Curve(system="LLS", benchmark=bench,
+                                series=lls.series, stats=lls.stats()))
+        if include_baseline:
+            base = build_engine(params, bench, recovery="none",
+                                dead_fraction=0.4, seed=seed,
+                                label=f"{bench}/ECP6-SG")
+            base.run()
+            curves.append(Fig8Curve(system="ECP6-SG", benchmark=bench,
+                                    series=base.series, stats=base.stats()))
+    return Fig8Result(curves=curves, scale=scale)
+
+
+def render(result: Fig8Result) -> str:
+    """Sparkline per curve plus sustained-writes milestones."""
+    lines = [f"Figure 8: software-usable space under ongoing writes "
+             f"(scale={result.scale})"]
+    for bench in sorted({c.benchmark for c in result.curves}):
+        lines.append(f"\n[{bench}]")
+        for curve in result.curves:
+            if curve.benchmark != bench:
+                continue
+            writes = [p.writes for p in curve.series.points]
+            usable = [p.usable for p in curve.series.points]
+            lines.append(format_series(curve.system, writes, usable,
+                                       lo=0.5, hi=1.0))
+            milestone = curve.series.writes_to_usable(0.7)
+            lines.append(f"{'':24s} writes to 70% usable: "
+                         + (f"{milestone:,}" if milestone is not None
+                            else "not reached"))
+    return "\n".join(lines)
+
+
+def as_dict(result: Fig8Result) -> Dict[str, Dict[str, Optional[int]]]:
+    """Sustained-writes milestones keyed by benchmark and system."""
+    table: Dict[str, Dict[str, Optional[int]]] = {}
+    for curve in result.curves:
+        table.setdefault(curve.benchmark, {})[curve.system] = \
+            curve.series.writes_to_usable(0.7)
+    return table

@@ -1,0 +1,67 @@
+"""Plain-text rendering of experiment results.
+
+The harness prints the same rows and series the paper's tables and figures
+report; no plotting dependencies are assumed (the series can be piped into
+any plotting tool).  Includes a small ASCII sparkline renderer so curve
+shapes are visible directly in a terminal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+_SPARK_LEVELS = " .:-=+*#%@"
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an aligned ASCII table."""
+    materialized = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float], lo: float = 0.0,
+              hi: float = 1.0) -> str:
+    """Map a value series onto a one-line ASCII intensity ramp."""
+    if hi <= lo:
+        hi = lo + 1.0
+    chars = []
+    top = len(_SPARK_LEVELS) - 1
+    for value in values:
+        t = (value - lo) / (hi - lo)
+        t = min(1.0, max(0.0, t))
+        chars.append(_SPARK_LEVELS[round(t * top)])
+    return "".join(chars)
+
+
+def format_series(label: str, writes: Sequence[int],
+                  values: Sequence[float], width: int = 60,
+                  lo: float = 0.0, hi: float = 1.0) -> str:
+    """Render one curve: label, sparkline, and endpoint values."""
+    if not writes:
+        return f"{label:24s} (empty)"
+    step = max(1, len(values) // width)
+    sampled = list(values[::step])[:width]
+    tail = f"start={values[0]:.2f} end={values[-1]:.2f} writes={writes[-1]:,}"
+    return f"{label:24s} |{sparkline(sampled, lo, hi):<{width}}| {tail}"
+
+
+def format_number(value: float) -> str:
+    """Thousands-separated integer formatting for write counts."""
+    return f"{int(value):,}"
+
+
+def format_percent(value: float) -> str:
+    """Fractions as percentages with one decimal."""
+    return f"{100.0 * value:.1f}%"

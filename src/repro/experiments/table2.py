@@ -1,0 +1,162 @@
+"""Table II — average access time and software-usable space, LLS vs WLR.
+
+The paper ages the chip to 10 %, 20 % and 30 % failed blocks, then measures
+(a) the average number of PCM accesses per software-issued request with a
+32 KB remap cache in front of both systems, and (b) the percentage of PCM
+capacity still available to software.  Expected shape: both systems sit at
+~1.00x access time thanks to the cache (LLS pays 3 accesses per miss, WLR
+2), and WL-Reviver retains ~5-6 points more usable space than LLS at every
+failure ratio.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..config import CacheConfig
+from ..mc.cache import RemapCache
+from ..rng import derive_rng
+from ..sim.fast import FastEngine
+from .common import build_engine, build_lls_engine, scaled_parameters
+from .report import format_table
+
+#: Failure ratios of the paper's rows.
+FAILURE_RATIOS = (0.10, 0.20, 0.30)
+
+
+def measure_access_time(engine: FastEngine, extra_accesses: int,
+                        samples: int = 200_000,
+                        cache: Optional[RemapCache] = None,
+                        seed: int = 17) -> float:
+    """Replay a sampled request stream through the aged chip's remapping.
+
+    ``extra_accesses`` is what a *cache miss* on a failed block costs beyond
+    the data access itself: 1 for WL-Reviver (the pointer read), 2 for LLS
+    (pointer read + bitmap read).  A cache hit goes straight to the final
+    block (1 access), exactly the paper's model.
+    """
+    rng = derive_rng(seed, "table2-sample")
+    probabilities = getattr(engine.trace, "probabilities", None)
+    if probabilities is None:
+        addresses = rng.integers(0, engine.ospool.virtual_blocks,
+                                 size=samples)
+    else:
+        addresses = rng.choice(len(probabilities), size=samples,
+                               p=probabilities)
+    engine._rebuild_redirect()
+    pas = engine.ospool.translate_many(addresses)
+    das = engine.wl.map_many(pas)
+    finals = engine._redirect[das]
+    redirected = finals != das
+    total = samples  # one data access per request
+    if cache is None:
+        total += int(redirected.sum()) * extra_accesses
+    else:
+        for da in das[redirected].tolist():
+            if cache.get(da) is None:
+                total += extra_accesses
+                cache.put(da, int(engine._redirect[da]))
+    return total / samples
+
+
+@dataclass(frozen=True)
+class Table2Row:
+    """One (failure ratio, system, benchmark) measurement."""
+
+    failure_ratio: float
+    system: str
+    benchmark: str
+    avg_access_time: float
+    usable_fraction: float
+
+
+@dataclass(frozen=True)
+class Table2Result:
+    """All rows in the paper's order."""
+
+    rows: List[Table2Row]
+    scale: str
+    cache_entries: int
+
+
+def run(scale: str = "small",
+        benchmarks: Optional[List[str]] = None,
+        ratios: Optional[List[float]] = None,
+        cache_entries: int = 4096,
+        samples: int = 200_000,
+        seed: int = 1) -> Table2Result:
+    """Age chips to each failure ratio and measure both systems."""
+    params = scaled_parameters(scale)
+    benches = benchmarks if benchmarks is not None else ["mg", "ocean"]
+    sweep = ratios if ratios is not None else list(FAILURE_RATIOS)
+    rows = []
+    for ratio in sweep:
+        for bench in benches:
+            lls = build_lls_engine(params, bench, dead_fraction=ratio,
+                                   stop_on_capacity=False, seed=seed,
+                                   label=f"{bench}/LLS@{ratio:.0%}")
+            lls.run()
+            cache = RemapCache(CacheConfig(capacity_entries=cache_entries))
+            rows.append(Table2Row(
+                failure_ratio=ratio, system="LLS", benchmark=bench,
+                avg_access_time=measure_access_time(
+                    lls, extra_accesses=2, samples=samples, cache=cache),
+                usable_fraction=lls._usable_fraction()))
+            wlr = build_engine(params, bench, recovery="reviver",
+                               dead_fraction=ratio, stop_on_capacity=False,
+                               seed=seed, label=f"{bench}/WLR@{ratio:.0%}")
+            wlr.run()
+            cache = RemapCache(CacheConfig(capacity_entries=cache_entries))
+            rows.append(Table2Row(
+                failure_ratio=ratio, system="WL-Reviver", benchmark=bench,
+                avg_access_time=measure_access_time(
+                    wlr, extra_accesses=1, samples=samples, cache=cache),
+                usable_fraction=wlr._usable_fraction()))
+    return Table2Result(rows=rows, scale=scale, cache_entries=cache_entries)
+
+
+def render(result: Table2Result) -> str:
+    """The paper's Table II layout."""
+    benches = sorted({r.benchmark for r in result.rows})
+    headers = (["Failure", "System"]
+               + [f"AccTime {b}" for b in benches]
+               + [f"Usable {b}" for b in benches])
+    lines = []
+    ratios = sorted({r.failure_ratio for r in result.rows})
+    for ratio in ratios:
+        for system in ("LLS", "WL-Reviver"):
+            cells = [f"{ratio:.0%}", system]
+            for bench in benches:
+                row = _find(result.rows, ratio, system, bench)
+                cells.append(f"{row.avg_access_time:.3f}" if row else "-")
+            for bench in benches:
+                row = _find(result.rows, ratio, system, bench)
+                cells.append(f"{row.usable_fraction:.0%}" if row else "-")
+            lines.append(cells)
+    title = (f"Table II: avg PCM accesses per request and software-usable "
+             f"space ({result.cache_entries}-entry remap cache, "
+             f"scale={result.scale})")
+    return format_table(headers, lines, title=title)
+
+
+def _find(rows: List[Table2Row], ratio: float, system: str,
+          bench: str) -> Optional[Table2Row]:
+    for row in rows:
+        if (abs(row.failure_ratio - ratio) < 1e-9 and row.system == system
+                and row.benchmark == bench):
+            return row
+    return None
+
+
+def as_dict(result: Table2Result) -> Dict[str, Dict[str, Dict[str, float]]]:
+    """Nested dict keyed by ratio -> system -> benchmark metrics."""
+    table: Dict[str, Dict[str, Dict[str, float]]] = {}
+    for row in result.rows:
+        ratio_key = f"{row.failure_ratio:.0%}"
+        table.setdefault(ratio_key, {}).setdefault(row.system, {})[
+            row.benchmark] = {
+                "access_time": row.avg_access_time,
+                "usable": row.usable_fraction,
+        }
+    return table

@@ -1,0 +1,62 @@
+"""Chunk-granularity space reservation.
+
+LLS grows its reserved (salvage) area in fixed-size chunks taken from the
+top of the device address space — 64 MB in the original paper, scaled here
+with the chip.  Reserving in chunks is cheap to manage but wastes space:
+the whole chunk leaves the software pool at once even though only a few of
+its blocks may ever serve as backups (the idle rest is stranded, which is
+one of the two reasons the paper's Table II shows LLS with consistently
+less software-usable space than WL-Reviver).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..errors import CapacityExhaustedError, ConfigurationError
+
+
+class ChunkReservation:
+    """Tracks how much of the device the salvage area has consumed."""
+
+    def __init__(self, device_blocks: int, chunk_blocks: int,
+                 min_working_blocks: int = 2) -> None:
+        if chunk_blocks <= 0 or chunk_blocks >= device_blocks:
+            raise ConfigurationError("chunk_blocks out of range")
+        self.device_blocks = device_blocks
+        self.chunk_blocks = chunk_blocks
+        self.min_working_blocks = min_working_blocks
+        self.chunks = 0
+
+    @property
+    def reserved_blocks(self) -> int:
+        """Blocks inside the salvage area."""
+        return self.chunks * self.chunk_blocks
+
+    @property
+    def working_blocks(self) -> int:
+        """Blocks left to the wear-leveling scheme and the software."""
+        return self.device_blocks - self.reserved_blocks
+
+    @property
+    def reserved_fraction(self) -> float:
+        """Chip fraction consumed by the salvage area."""
+        return self.reserved_blocks / self.device_blocks
+
+    def can_reserve(self) -> bool:
+        """Whether another chunk still fits."""
+        return (self.working_blocks - self.chunk_blocks
+                >= self.min_working_blocks)
+
+    def reserve_next(self) -> Tuple[int, int]:
+        """Claim the next chunk; returns its half-open DA range.
+
+        The chunk is carved off the top of the current working space so the
+        remaining space stays contiguous (LLS's requirement for keeping the
+        wear-leveler's address math simple).
+        """
+        if not self.can_reserve():
+            raise CapacityExhaustedError("no space left for another chunk")
+        self.chunks += 1
+        start = self.working_blocks
+        return start, start + self.chunk_blocks

@@ -1,0 +1,79 @@
+"""Salvaging groups.
+
+LLS partitions device blocks into groups (by address modulo the group
+count) and dictates that a failed block may only use a backup block of the
+*same* group — that is what lets it represent failed-to-backup mappings by
+relative order instead of explicit pointers.  The cost the paper calls out:
+when one group's backups run dry, a whole new chunk must be reserved even
+though other groups still hold plenty of idle blocks.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, List, Optional
+
+from ..errors import ConfigurationError
+
+
+class SalvageGroups:
+    """Per-group free lists of backup blocks carved from reserved chunks."""
+
+    def __init__(self, num_groups: int) -> None:
+        if num_groups <= 0:
+            raise ConfigurationError("num_groups must be positive")
+        self.num_groups = num_groups
+        self._free: List[Deque[int]] = [deque() for _ in range(num_groups)]
+        #: failed DA -> backup DA, in same-group relative order.
+        self.backups: Dict[int, int] = {}
+        #: backup DA -> failed DA it serves (for backup-failure relinks).
+        self._reverse: Dict[int, int] = {}
+        self.total_added = 0
+
+    def group_of(self, da: int) -> int:
+        """Salvaging group of a device block."""
+        return da % self.num_groups
+
+    def add_chunk(self, start: int, end: int) -> None:
+        """Distribute a freshly reserved chunk's blocks into the groups."""
+        for da in range(start, end):
+            self._free[self.group_of(da)].append(da)
+            self.total_added += 1
+
+    def available(self, group: int) -> int:
+        """Free backups left in *group*."""
+        return len(self._free[group])
+
+    def idle_blocks(self) -> int:
+        """Reserved blocks not yet serving as backups (stranded capacity)."""
+        return sum(len(q) for q in self._free)
+
+    def assign(self, failed_da: int,
+               is_usable: Optional[Callable[[int], bool]] = None
+               ) -> Optional[int]:
+        """Back *failed_da* with the next same-group block, if any.
+
+        When the failed block was itself a backup serving another block,
+        the served block is re-pointed (order-preserving relink).
+        ``is_usable`` filters candidates: chunks are carved out of the
+        working space and may contain blocks that already wore out there —
+        those are skipped (LLS's write-verify would reject them anyway).
+        """
+        group = self.group_of(failed_da)
+        queue = self._free[group]
+        backup = None
+        while queue:
+            candidate = queue.popleft()
+            if is_usable is None or is_usable(candidate):
+                backup = candidate
+                break
+        if backup is None:
+            return None
+        origin = self._reverse.pop(failed_da, failed_da)
+        self.backups[origin] = backup
+        self._reverse[backup] = origin
+        return backup
+
+    def resolve(self, da: int) -> int:
+        """Backup of *da*, or *da* itself when it has none."""
+        return self.backups.get(da, da)

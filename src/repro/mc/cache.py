@@ -1,0 +1,83 @@
+"""The remap cache (Table II).
+
+Accessing a failed block costs extra PCM accesses: the pointer read
+(WL-Reviver) or the pointer and bitmap reads (LLS).  Both systems can cache
+remap information in SRAM — the paper configures a 32 KB cache for each,
+which at a handful of bytes per entry holds a few thousand entries and makes
+the average access time nearly 1.0.
+
+This is a classic set-associative LRU cache keyed by failed device address.
+The cached value is the failed block's virtual shadow PA (WL-Reviver) or its
+backup DA (LLS); for WL-Reviver the shadow DA is then computed from the live
+mapping at zero PCM cost, so entries stay valid across migrations and only a
+chain *switch* (pointer rewrite) invalidates them.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List, Optional
+
+from ..config import CacheConfig
+
+
+class RemapCache:
+    """Set-associative LRU cache of failure-remap entries."""
+
+    def __init__(self, config: Optional[CacheConfig] = None) -> None:
+        self.config = config or CacheConfig()
+        self.num_sets = self.config.capacity_entries // self.config.associativity
+        self._sets: List["OrderedDict[int, int]"] = [
+            OrderedDict() for _ in range(self.num_sets)]
+        self.hits = 0
+        self.misses = 0
+        self.invalidations = 0
+
+    def _set_of(self, key: int) -> "OrderedDict[int, int]":
+        return self._sets[key % self.num_sets]
+
+    # ----------------------------------------------------------------- access
+
+    def get(self, key: int) -> Optional[int]:
+        """Look up *key*; refresh LRU order on hit."""
+        entry_set = self._set_of(key)
+        if key in entry_set:
+            entry_set.move_to_end(key)
+            self.hits += 1
+            return entry_set[key]
+        self.misses += 1
+        return None
+
+    def put(self, key: int, value: int) -> None:
+        """Insert/refresh an entry, evicting LRU within the set if full."""
+        entry_set = self._set_of(key)
+        if key in entry_set:
+            entry_set.move_to_end(key)
+            entry_set[key] = value
+            return
+        if len(entry_set) >= self.config.associativity:
+            entry_set.popitem(last=False)
+        entry_set[key] = value
+
+    def invalidate(self, key: int) -> None:
+        """Drop *key* if present (pointer rewritten by a chain switch)."""
+        entry_set = self._set_of(key)
+        if key in entry_set:
+            del entry_set[key]
+            self.invalidations += 1
+
+    def clear(self) -> None:
+        """Drop everything."""
+        for entry_set in self._sets:
+            entry_set.clear()
+
+    # -------------------------------------------------------------- reporting
+
+    @property
+    def hit_rate(self) -> float:
+        """Hit fraction over all lookups so far."""
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __len__(self) -> int:
+        return sum(len(s) for s in self._sets)

@@ -1,0 +1,22 @@
+"""Operating-system model.
+
+WL-Reviver's core bet is that it needs *no new OS support*: the only OS
+behaviour it relies on is the standard one — when the memory device reports
+an access error, the OS retires the page containing the error from its
+allocation pool and never touches it again (HP Memory Quarantine style,
+Section III-A).  This package models exactly that behaviour:
+
+* :class:`~repro.osmodel.page.PageInfo` / page states;
+* :class:`~repro.osmodel.allocator.PagePool` — the OS's view of physical
+  pages, virtual-to-physical page mapping, and retirement handling
+  (including redirecting a failed write to an alternative page, the paper's
+  recovery path for victimized writes);
+* :class:`~repro.osmodel.faults.FaultReporter` — the exception interface
+  between the memory controller and the OS, with an event log.
+"""
+
+from .page import PageInfo, PageStatus
+from .allocator import PagePool
+from .faults import FaultEvent, FaultReporter
+
+__all__ = ["PageInfo", "PageStatus", "PagePool", "FaultEvent", "FaultReporter"]

@@ -1,0 +1,208 @@
+"""The OS page pool: virtual-to-physical page mapping and retirement.
+
+Software (the trace) addresses a fixed *virtual* block space.  The pool maps
+each virtual page onto a physical page of the PA space exposed by the
+wear-leveling scheme.  Initially the mapping is the identity over all
+complete pages (wear-leveling papers assume the whole chip backs software
+memory).
+
+When the memory device reports an access error, the OS retires the physical
+page.  The virtual pages living there must go somewhere: real systems would
+use a free frame, but at this point none exists (memory started full), so
+the OS consolidates — the evicted virtual page is remapped onto another,
+still-usable physical page chosen uniformly at random (seeded).  Two virtual
+pages sharing a physical frame models the capacity pressure of a shrinking
+chip; the *usable-space* metrics the paper reports depend only on how many
+physical pages remain usable, not on the sharing pattern.
+
+A logical space whose size is not a whole number of pages (Start-Gap exposes
+``device_blocks - 1`` PAs) leaves a partial tail page that is never given to
+software; those few PAs simply participate in wear-leveling rotation while
+holding no data.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+import numpy as np
+
+from ..errors import AddressError, CapacityExhaustedError
+from ..rng import SeedLike, derive_rng
+from .page import PageInfo, PageStatus
+
+
+class PagePool:
+    """Virtual-to-physical page mapping over a logical PA space.
+
+    ``utilization`` sets how much of the paged space the software working
+    set occupies at boot.  With 1.0 (default, the paper's assumption) every
+    physical page backs a virtual page and a retirement forces
+    consolidation; below 1.0 the remainder forms a free-frame list that
+    retirements consume first, which keeps data-consistency accounting
+    exact for the tests that need it.
+    """
+
+    def __init__(self, logical_blocks: int, blocks_per_page: int = 64,
+                 seed: SeedLike = None, utilization: float = 1.0) -> None:
+        self.logical_blocks = logical_blocks
+        self.blocks_per_page = blocks_per_page
+        self.num_pages = logical_blocks // blocks_per_page
+        if self.num_pages == 0:
+            raise AddressError("logical space smaller than one page")
+        if not 0.0 < utilization <= 1.0:
+            raise AddressError("utilization must be in (0, 1]")
+        self._rng = derive_rng(seed, "os-pagepool")
+        self.num_virtual_pages = max(1, int(self.num_pages * utilization))
+        self.pages: List[PageInfo] = [
+            PageInfo(page_id=i,
+                     virtual_pages=[i] if i < self.num_virtual_pages else [])
+            for i in range(self.num_pages)]
+        #: virtual page -> physical page (identity at boot).
+        self._virt_to_phys = np.arange(self.num_virtual_pages, dtype=np.int64)
+        self._usable_count = self.num_pages
+        #: physical pages still usable, as a sorted-ish list for sampling.
+        self._usable_list: List[int] = list(range(self.num_pages))
+        self._usable_pos: Dict[int, int] = {p: p for p in range(self.num_pages)}
+        #: usable pages currently backing no virtual page (free frames).
+        self._free_frames: List[int] = list(
+            range(self.num_virtual_pages, self.num_pages))
+        #: ``(vpage, old_phys, new_phys)`` moves of the latest retirement,
+        #: for the controller's optional OS-side data copy.
+        self.last_moves: List[tuple] = []
+
+    # ------------------------------------------------------------ translation
+
+    @property
+    def virtual_blocks(self) -> int:
+        """Size of the virtual block space traces may address."""
+        return self.num_virtual_pages * self.blocks_per_page
+
+    def translate(self, virtual_block: int) -> int:
+        """Map a virtual block address to a PA."""
+        vpage, offset = divmod(virtual_block, self.blocks_per_page)
+        if not 0 <= vpage < self.num_virtual_pages:
+            raise AddressError(f"virtual block {virtual_block} out of range")
+        return int(self._virt_to_phys[vpage]) * self.blocks_per_page + offset
+
+    def translate_many(self, virtual_blocks: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`translate`."""
+        virtual_blocks = np.asarray(virtual_blocks, dtype=np.int64)
+        vpages = virtual_blocks // self.blocks_per_page
+        offsets = virtual_blocks % self.blocks_per_page
+        return self._virt_to_phys[vpages] * self.blocks_per_page + offsets
+
+    def page_of_pa(self, pa: int) -> int:
+        """Physical page containing *pa*."""
+        page = pa // self.blocks_per_page
+        if not 0 <= page < self.num_pages:
+            raise AddressError(f"PA {pa} outside the paged software space")
+        return page
+
+    def pa_in_software_space(self, pa: int) -> bool:
+        """Whether *pa* lies inside a complete (pageable) page."""
+        return 0 <= pa < self.num_pages * self.blocks_per_page
+
+    # -------------------------------------------------------------- retirement
+
+    def retire(self, page_id: int) -> List[int]:
+        """Retire physical *page_id*; rehome its virtual pages.
+
+        Returns the list of PAs in the retired page (the reserved virtual
+        space WL-Reviver will claim).  Idempotent-safe: retiring an already
+        retired page raises, because the OS would never access it again.
+        """
+        info = self.pages[page_id]
+        if info.status is PageStatus.RETIRED:
+            raise AddressError(f"page {page_id} is already retired")
+        if self._usable_count <= 1:
+            # Retiring the last page would leave the software nothing:
+            # genuine end of chip life.  State is left untouched so the
+            # caller sees a consistent (dead) system.
+            raise CapacityExhaustedError("no usable pages would remain")
+        info.status = PageStatus.RETIRED
+        self._remove_usable(page_id)
+        if page_id in set(self._free_frames):
+            self._free_frames.remove(page_id)
+        self.last_moves = []
+        for vpage in info.virtual_pages:
+            if self._free_frames:
+                new_phys = self._free_frames.pop()
+            else:
+                new_phys = self._sample_usable()
+            # When no free frame is left the OS consolidates: the target
+            # frame is shared and its resident data gets overwritten.
+            shared = bool(self.pages[new_phys].virtual_pages)
+            self._virt_to_phys[vpage] = new_phys
+            self.pages[new_phys].virtual_pages.append(vpage)
+            self.last_moves.append((vpage, page_id, new_phys, shared))
+        info.virtual_pages = []
+        base = page_id * self.blocks_per_page
+        return list(range(base, base + self.blocks_per_page))
+
+    def relocate(self, page_id: int) -> List[tuple]:
+        """Move the virtual pages off *page_id* without retiring it.
+
+        Models the OS rehoming an application's page after a write error
+        when it does not quarantine the frame (the no-recovery baseline:
+        usable space is accounted at block granularity, but the hot data
+        must still land somewhere fresh to keep being written).  Targets
+        are free frames while they last, then random other usable frames
+        (consolidation).  Returns ``(vpage, old_phys, new_phys, shared)``
+        moves like :meth:`retire`.
+        """
+        info = self.pages[page_id]
+        if info.status is PageStatus.RETIRED:
+            raise AddressError(f"page {page_id} is retired")
+        self.last_moves = []
+        for vpage in list(info.virtual_pages):
+            if self._free_frames:
+                new_phys = self._free_frames.pop()
+            else:
+                new_phys = self._sample_usable()
+                if new_phys == page_id and self._usable_count > 1:
+                    new_phys = self._sample_usable()
+                if new_phys == page_id:
+                    continue  # nowhere else to go
+            shared = bool(self.pages[new_phys].virtual_pages)
+            info.virtual_pages.remove(vpage)
+            self._virt_to_phys[vpage] = new_phys
+            self.pages[new_phys].virtual_pages.append(vpage)
+            self.last_moves.append((vpage, page_id, new_phys, shared))
+        return self.last_moves
+
+    def _remove_usable(self, page_id: int) -> None:
+        pos = self._usable_pos.pop(page_id)
+        last = self._usable_list.pop()
+        if last != page_id:
+            self._usable_list[pos] = last
+            self._usable_pos[last] = pos
+        self._usable_count -= 1
+
+    def _sample_usable(self) -> int:
+        index = int(self._rng.integers(0, self._usable_count))
+        return self._usable_list[index]
+
+    # -------------------------------------------------------------- reporting
+
+    def is_usable(self, page_id: int) -> bool:
+        """Whether *page_id* is still in the allocation pool."""
+        return self.pages[page_id].is_usable
+
+    @property
+    def usable_pages(self) -> int:
+        """Count of physical pages still usable by software."""
+        return self._usable_count
+
+    @property
+    def retired_pages(self) -> int:
+        """Count of retired physical pages."""
+        return self.num_pages - self._usable_count
+
+    def usable_fraction(self) -> float:
+        """Fraction of the paged space still usable by software."""
+        return self._usable_count / self.num_pages
+
+    def record_write(self, pa: int) -> None:
+        """Statistics hook: account a software write landing at *pa*."""
+        self.pages[self.page_of_pa(pa)].writes += 1

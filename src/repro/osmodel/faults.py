@@ -1,0 +1,69 @@
+"""The exception interface between the memory device and the OS.
+
+The paper's constraint: the device may only talk to the OS through the
+*existing* error-reporting channel — an access exception on a software
+request.  The OS's standard handling retires the page and (for writes)
+redirects the write to an alternative location.  :class:`FaultReporter`
+models this channel and keeps an event log so experiments can count how
+often the OS was interrupted (WL-Reviver's claim: once per ~60 failures,
+versus once per failure for naive designs).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from .allocator import PagePool
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One access error reported to the OS."""
+
+    #: Software write count at which the report happened.
+    at_write: int
+    #: PA whose access was reported as failed.
+    pa: int
+    #: Physical page the OS retired in response.
+    page_id: int
+    #: True when the access had actually succeeded and was only reported to
+    #: obtain spare space (WL-Reviver's victimized write, Section III-A).
+    victimized: bool
+
+
+class FaultReporter:
+    """Routes device exceptions to the OS page pool and logs them."""
+
+    def __init__(self, pool: PagePool) -> None:
+        self.pool = pool
+        self.events: List[FaultEvent] = []
+
+    def report(self, pa: int, at_write: int,
+               victimized: bool = False) -> List[int]:
+        """Report an access error at *pa*; the OS retires the page.
+
+        Returns the PAs of the retired page — the implicitly reserved
+        virtual space the caller (WL-Reviver) may claim.
+        """
+        page_id = self.pool.page_of_pa(pa)
+        pas = self.pool.retire(page_id)
+        self.events.append(FaultEvent(at_write=at_write, pa=pa,
+                                      page_id=page_id, victimized=victimized))
+        return pas
+
+    # -------------------------------------------------------------- reporting
+
+    @property
+    def report_count(self) -> int:
+        """Total OS interruptions."""
+        return len(self.events)
+
+    @property
+    def victimized_count(self) -> int:
+        """Reports that were victimized healthy writes."""
+        return sum(1 for e in self.events if e.victimized)
+
+    def last_event(self) -> Optional[FaultEvent]:
+        """Most recent report, if any."""
+        return self.events[-1] if self.events else None

@@ -1,0 +1,55 @@
+"""Block-level state definitions and a debugging view.
+
+The chip keeps block state in flat numpy arrays for speed;
+:class:`BlockView` packages one block's state into an object for
+introspection, logging, and tests.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+
+class BlockState(enum.IntEnum):
+    """Lifecycle of a PCM block as seen by the memory controller."""
+
+    #: Block stores regular data and services accesses.
+    HEALTHY = 0
+    #: Block accumulated more cell faults than its ECC can correct; in
+    #: WL-Reviver it stores a pointer to its virtual shadow block instead of
+    #: data (the paper's per-block status bit is set).
+    FAILED = 1
+
+
+@dataclass(frozen=True)
+class BlockView:
+    """Read-only snapshot of a single block, for debugging and tests."""
+
+    da: int
+    state: BlockState
+    wear: int
+    #: Wear at which the block becomes uncorrectable under its ECC scheme,
+    #: or ``None`` if the fault model does not expose it.
+    threshold: Optional[int] = None
+    #: Virtual shadow block PA recorded in the block (failed blocks only).
+    pointer_pa: Optional[int] = None
+
+    @property
+    def is_failed(self) -> bool:
+        """Convenience flag mirroring :class:`BlockState`."""
+        return self.state is BlockState.FAILED
+
+    @property
+    def remaining(self) -> Optional[int]:
+        """Writes left before the block fails, when the threshold is known."""
+        if self.threshold is None:
+            return None
+        return max(0, self.threshold - self.wear)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        extra = ""
+        if self.pointer_pa is not None:
+            extra = f" -> vpa {self.pointer_pa}"
+        return f"Block(da={self.da}, {self.state.name}, wear={self.wear}{extra})"

@@ -1,0 +1,84 @@
+"""The replicated retired-page bitmap.
+
+Across reboots the OS must know which pages WL-Reviver has taken (it cannot
+rediscover them: the pages look like ordinary memory).  The framework keeps
+one bit per OS page — set at most once in the chip's lifetime — and stores
+multiple copies in the PCM for safety; the memory-diagnostics pass at boot
+loads it and withholds the marked pages from the allocation pool
+(Section III-A, last paragraph).
+
+The simulator models the bitmap exactly (bit array, replica writes counted)
+and provides serialization so tests can exercise the reboot path.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..errors import AddressError, ProtocolError
+
+
+class RetiredPageBitmap:
+    """One bit per OS page, with replica-write accounting."""
+
+    def __init__(self, num_pages: int, replicas: int = 2) -> None:
+        if num_pages <= 0:
+            raise AddressError("num_pages must be positive")
+        if replicas < 1:
+            raise AddressError("replicas must be >= 1")
+        self.num_pages = num_pages
+        self.replicas = replicas
+        self._bits = np.zeros(num_pages, dtype=bool)
+        #: Physical PCM writes spent updating replicas.
+        self.metadata_writes = 0
+
+    # -------------------------------------------------------------- mutation
+
+    def mark_retired(self, page_id: int) -> None:
+        """Set the page's bit (once) and account the replica updates."""
+        if not 0 <= page_id < self.num_pages:
+            raise AddressError(f"page {page_id} out of range")
+        if self._bits[page_id]:
+            raise ProtocolError(f"page {page_id} already marked retired")
+        self._bits[page_id] = True
+        self.metadata_writes += self.replicas
+
+    # ------------------------------------------------------------- inspection
+
+    def is_retired(self, page_id: int) -> bool:
+        """Whether the page's bit is set."""
+        if not 0 <= page_id < self.num_pages:
+            raise AddressError(f"page {page_id} out of range")
+        return bool(self._bits[page_id])
+
+    def retired_pages(self) -> List[int]:
+        """All marked pages, ascending."""
+        return np.nonzero(self._bits)[0].tolist()
+
+    @property
+    def retired_count(self) -> int:
+        """Number of marked pages."""
+        return int(self._bits.sum())
+
+    # ---------------------------------------------------------- serialization
+
+    def to_bytes(self) -> bytes:
+        """Serialize to the packed on-PCM representation."""
+        return np.packbits(self._bits).tobytes()
+
+    @classmethod
+    def from_bytes(cls, data: bytes, num_pages: int,
+                   replicas: int = 2) -> "RetiredPageBitmap":
+        """Rebuild a bitmap from its packed representation (reboot path)."""
+        bitmap = cls(num_pages, replicas=replicas)
+        unpacked = np.unpackbits(np.frombuffer(data, dtype=np.uint8))
+        if unpacked.size < num_pages:
+            raise AddressError("serialized bitmap too short")
+        bitmap._bits = unpacked[:num_pages].astype(bool)
+        return bitmap
+
+    def storage_bytes(self) -> int:
+        """PCM bytes consumed by all replicas."""
+        return self.replicas * ((self.num_pages + 7) // 8)

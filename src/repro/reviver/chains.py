@@ -1,0 +1,115 @@
+"""Chain resolution and reduction.
+
+A failed block's *chain* is the path to its data: failed DA -> (stored
+pointer) -> virtual shadow PA -> (current mapping) -> shadow DA.  One
+DA-to-PA link followed by one PA-to-DA mapping is a *step*.  Chains of more
+than one step arise transiently in exactly two situations (Section III-B):
+
+1. a software write finds the shadow block itself worn out and a new
+   virtual shadow is allocated behind it (Figure 2(c));
+2. a wear-leveling migration moves data into a failed block, i.e. a
+   mapping change makes some linked virtual shadow PA point at a failed
+   block (Figure 3(a)).
+
+Both are repaired the same way: *switch* the virtual shadows of the two
+failed blocks on the chain.  The first block ends one step from the healthy
+shadow; the second ends *mutually linked* with its own virtual shadow — a
+**PA-DA loop** — which is harmless because the looping PA is invisible to
+software and Theorem 3 keeps migrations away.  The switch needs the inverse
+mapping function (to find who points at a DA) and the inverse pointers (to
+find the failed block owning a virtual shadow PA); both are available.
+
+:class:`ChainResolver` packages the walk (:meth:`resolve`) and the repair
+(:meth:`reduce`) over a :class:`~repro.reviver.links.LinkTable` and the
+wear-leveler's live mapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from ..errors import ProtocolError
+from .links import LinkTable
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """Outcome of following a block's chain."""
+
+    #: Healthy block finally reached, or ``None`` for a PA-DA loop.
+    final_da: Optional[int]
+    #: Steps followed (0 = the block itself is healthy).
+    hops: int
+    #: DAs visited, starting with the queried block.
+    path: Tuple[int, ...]
+
+    @property
+    def is_loop(self) -> bool:
+        """True when the chain ends on a PA-DA loop (no shadow block)."""
+        return self.final_da is None
+
+
+class ChainResolver:
+    """Walks and repairs failure chains against the live mapping."""
+
+    def __init__(self, links: LinkTable,
+                 map_fn: Callable[[int], int],
+                 is_failed: Callable[[int], bool]) -> None:
+        self.links = links
+        self.map_fn = map_fn
+        self.is_failed = is_failed
+        #: Chain switches performed (reporting; each is 2 pointer rewrites).
+        self.switches = 0
+
+    # ---------------------------------------------------------------- walking
+
+    def resolve(self, da: int) -> Resolution:
+        """Follow *da*'s chain to its shadow block without modifying it."""
+        path = [da]
+        current = da
+        while self.is_failed(current):
+            vpa = self.links.vpa_of(current)
+            if vpa is None:
+                raise ProtocolError(f"failed block {current} has no link")
+            nxt = self.map_fn(vpa)
+            if nxt in path:
+                # The only legal cycle is the self-loop current -> vpa ->
+                # current; anything longer is a protocol violation.
+                if nxt == current:
+                    return Resolution(None, len(path) - 1, tuple(path))
+                raise ProtocolError(f"chain cycle through {path + [nxt]}")
+            path.append(nxt)
+            current = nxt
+        return Resolution(current, len(path) - 1, tuple(path))
+
+    # --------------------------------------------------------------- reducing
+
+    def reduce(self, da: int) -> Resolution:
+        """Flatten *da*'s chain to at most one step; return the result.
+
+        Every iteration that finds the next hop failed performs one switch,
+        which pins that hop onto a PA-DA loop; progress is therefore strictly
+        monotone and the walk terminates.
+        """
+        if not self.is_failed(da):
+            return Resolution(da, 0, (da,))
+        while True:
+            vpa = self.links.vpa_of(da)
+            if vpa is None:
+                raise ProtocolError(f"failed block {da} has no link")
+            target = self.map_fn(vpa)
+            if target == da:
+                return Resolution(None, 1, (da, da))
+            if not self.is_failed(target):
+                return Resolution(target, 1, (da, target))
+            if self.links.vpa_of(target) is None:
+                # The target failed moments ago and its own failure handling
+                # is still in flight; once it is linked, that handler
+                # re-flattens this chain (upstream reduction in
+                # WLReviver._link).
+                return Resolution(target, 1, (da, target))
+            # Two-step chain da -> vpa -> target -> ...: switch the two
+            # failed blocks' virtual shadows (Figures 2(d) / 3(b)).
+            self.links.switch(da, target)
+            self.switches += 1

@@ -1,0 +1,118 @@
+"""Runtime checkers for the paper's Theorems 1-3.
+
+* **Theorem 1** — every software-accessible failed block is backed by a
+  healthy shadow block, one step away.
+* **Theorem 2** — every unlinked PA in the reserved pages reaches a healthy
+  block directly or through one chain step.
+* **Theorem 3** — a wear-leveling scheme never migrates data into a block on
+  a PA-DA loop (equivalently: a loop block is only mapped by its own
+  unaccessible virtual shadow PA).
+
+The checkers walk the full reviver state and raise
+:class:`~repro.errors.ProtocolError` on any violation.  They are wired into
+the controller behind ``ReviverConfig.check_invariants`` (tests and the
+exact engine enable them; the fast engine runs them at sampling points).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..errors import ProtocolError
+from .links import LinkTable
+from .registers import SparePool
+
+
+class InvariantChecker:
+    """Validates Theorems 1-3 and the one-step-chain property."""
+
+    def __init__(self, links: LinkTable, spares: SparePool,
+                 map_fn: Callable[[int], int],
+                 is_failed: Callable[[int], bool],
+                 software_pas: Callable[[], Iterable[int]],
+                 failed_blocks: Callable[[], Iterable[int]]) -> None:
+        self.links = links
+        self.spares = spares
+        self.map_fn = map_fn
+        self.is_failed = is_failed
+        self.software_pas = software_pas
+        self.failed_blocks = failed_blocks
+
+    # ------------------------------------------------------------ full check
+
+    def check_all(self) -> None:
+        """Run every invariant; raise on the first violation."""
+        self.check_link_consistency()
+        self.check_chain_lengths()
+        self.check_theorem1()
+        self.check_theorem2()
+        self.check_theorem3()
+
+    # ------------------------------------------------------------ components
+
+    def check_link_consistency(self) -> None:
+        """Every failed block is linked and both link directions agree."""
+        for da in self.failed_blocks():
+            vpa = self.links.vpa_of(da)
+            if vpa is None:
+                raise ProtocolError(f"failed block {da} has no virtual shadow")
+            back = self.links.failed_of(vpa)
+            if back != da:
+                raise ProtocolError(
+                    f"inverse pointer of PA {vpa} names {back}, expected {da}")
+
+    def check_chain_lengths(self) -> None:
+        """No chain is longer than one step."""
+        for da in self.failed_blocks():
+            vpa = self.links.vpa_of(da)
+            target = self.map_fn(vpa)
+            if target != da and self.is_failed(target):
+                raise ProtocolError(
+                    f"two-step chain: {da} -> PA {vpa} -> failed {target}")
+
+    def check_theorem1(self) -> None:
+        """Software-accessible failed blocks have healthy one-step shadows."""
+        for pa in self.software_pas():
+            da = self.map_fn(pa)
+            if not self.is_failed(da):
+                continue
+            vpa = self.links.vpa_of(da)
+            if vpa is None:
+                raise ProtocolError(f"accessible failed block {da} unlinked")
+            shadow = self.map_fn(vpa)
+            if shadow == da or self.is_failed(shadow):
+                raise ProtocolError(
+                    f"accessible failed block {da} lacks a healthy shadow "
+                    f"(PA {pa} -> {da} -> PA {vpa} -> {shadow})")
+
+    def check_theorem2(self) -> None:
+        """Unlinked spare PAs reach a healthy block in <= 1 chain step."""
+        for vpa in self.spares.peek_all():
+            da = self.map_fn(vpa)
+            if not self.is_failed(da):
+                continue
+            link = self.links.vpa_of(da)
+            if link is None:
+                raise ProtocolError(f"spare PA {vpa} maps to unlinked failed {da}")
+            shadow = self.map_fn(link)
+            if shadow == da:
+                # The failed block is on a loop with its own VPA; the spare
+                # would have no healthy backing.  Theorem 2 forbids this.
+                raise ProtocolError(
+                    f"spare PA {vpa} maps to loop block {da}")
+            if self.is_failed(shadow):
+                raise ProtocolError(
+                    f"spare PA {vpa} indirectly reaches failed block {shadow}")
+
+    def check_theorem3(self) -> None:
+        """Loop blocks are mapped only by their own virtual shadow PA.
+
+        The mapping is a bijection, so it suffices to confirm that the PA
+        mapping onto each loop block *is* the loop's VPA — which is neither
+        software-accessible nor an allocatable spare.
+        """
+        for da in self.failed_blocks():
+            vpa = self.links.vpa_of(da)
+            if self.map_fn(vpa) == da and vpa in self.spares:
+                raise ProtocolError(
+                    f"loop block {da} is reachable through spare PA {vpa}")

@@ -1,0 +1,108 @@
+"""The link table: failed blocks, virtual shadows, and inverse pointers.
+
+Logically WL-Reviver stores two kinds of metadata in the PCM itself:
+
+* each failed block stores (in its surviving cells, FREE-p style) the PA of
+  its virtual shadow block, plus a status bit saying "this block holds a
+  pointer, not data";
+* for each virtual shadow PA, an inverse pointer back to the failed block is
+  stored in a block of the owning page's pointer section (Figure 4).
+
+The simulator keeps both directions in dictionaries for speed, but every
+mutation also emits a :class:`MetadataWrite` record naming the PCM location
+written, so the controller can account the (rare) metadata wear and access
+cost exactly where the paper says the bits live.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..errors import ProtocolError
+from .pages import PageLedger
+
+
+@dataclass(frozen=True)
+class MetadataWrite:
+    """One physical metadata update emitted by a link-table mutation."""
+
+    #: ``"pointer"`` = VPA written into a failed block;
+    #: ``"inverse"`` = failed DA written into a pointer-section block.
+    kind: str
+    #: For ``pointer``: the failed block's DA.  For ``inverse``: the PA of
+    #: the pointer-section block that holds the entry (the controller
+    #: resolves it to a DA through the current mapping).
+    location: int
+
+
+class LinkTable:
+    """Bidirectional failed-DA <-> virtual-shadow-PA links."""
+
+    def __init__(self, ledger: PageLedger) -> None:
+        self.ledger = ledger
+        self._pointer: Dict[int, int] = {}   # failed DA -> VPA
+        self._inverse: Dict[int, int] = {}   # VPA -> failed DA
+        #: Metadata writes not yet drained by the controller.
+        self.pending_writes: List[MetadataWrite] = []
+
+    # ----------------------------------------------------------------- reads
+
+    def vpa_of(self, da: int) -> Optional[int]:
+        """Virtual shadow PA recorded in failed block *da* (None = no link)."""
+        return self._pointer.get(da)
+
+    def failed_of(self, vpa: int) -> Optional[int]:
+        """Failed DA the inverse pointer of *vpa* names (None = unlinked)."""
+        return self._inverse.get(vpa)
+
+    def is_linked_vpa(self, pa: int) -> bool:
+        """Whether *pa* is currently some failed block's virtual shadow."""
+        return pa in self._inverse
+
+    def linked_blocks(self) -> List[int]:
+        """All failed DAs that own a link (ascending)."""
+        return sorted(self._pointer)
+
+    def __len__(self) -> int:
+        return len(self._pointer)
+
+    # ------------------------------------------------------------- mutations
+
+    def link(self, da: int, vpa: int) -> None:
+        """Create the link ``da -> vpa`` (both directions, both writes)."""
+        if da in self._pointer:
+            raise ProtocolError(f"block {da} is already linked")
+        if vpa in self._inverse:
+            raise ProtocolError(f"PA {vpa} is already a virtual shadow")
+        self._pointer[da] = vpa
+        self._inverse[vpa] = da
+        self.pending_writes.append(MetadataWrite("pointer", da))
+        self.pending_writes.append(
+            MetadataWrite("inverse", self.ledger.pointer_home(vpa)))
+
+    def switch(self, da_a: int, da_b: int) -> None:
+        """Exchange the virtual shadows of two failed blocks.
+
+        This is the paper's chain-reduction primitive (Figures 2(d), 3(b)):
+        both failed blocks rewrite their pointer cells and both inverse
+        pointers are updated.
+        """
+        try:
+            vpa_a = self._pointer[da_a]
+            vpa_b = self._pointer[da_b]
+        except KeyError as exc:
+            raise ProtocolError("switch() requires two linked blocks") from exc
+        self._pointer[da_a], self._pointer[da_b] = vpa_b, vpa_a
+        self._inverse[vpa_a], self._inverse[vpa_b] = da_b, da_a
+        self.pending_writes.append(MetadataWrite("pointer", da_a))
+        self.pending_writes.append(MetadataWrite("pointer", da_b))
+        self.pending_writes.append(
+            MetadataWrite("inverse", self.ledger.pointer_home(vpa_a)))
+        self.pending_writes.append(
+            MetadataWrite("inverse", self.ledger.pointer_home(vpa_b)))
+
+    def drain_writes(self) -> List[MetadataWrite]:
+        """Return and clear the pending metadata writes."""
+        writes, self.pending_writes = self.pending_writes, []
+        return writes

@@ -1,0 +1,74 @@
+"""The spare virtual-shadow-block pool.
+
+The paper implements the pool with two registers: one holding the PA
+currently available to serve as a virtual shadow block, the other the last
+PA available; PAs between them are the reserved virtual spare space
+(Section III-A).  Sequential consumption covers almost every allocation, but
+one corner case needs out-of-order removal: when a wear-leveling migration
+lands on a failed block whose post-move PA happens to be an *unlinked* spare
+(the data being "migrated" belongs to that spare PA and is garbage), the
+framework links the pair into a PA-DA loop, consuming that specific spare.
+
+:class:`SparePool` therefore keeps the register semantics (FIFO order over
+acquired pages) while supporting O(1) removal of a specific PA.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Iterable, List
+
+from ..errors import CapacityExhaustedError
+
+
+class SparePool:
+    """FIFO pool of unlinked virtual-shadow PAs with keyed removal."""
+
+    def __init__(self) -> None:
+        # OrderedDict used as an ordered set: key = PA, value unused.
+        self._spares: "OrderedDict[int, None]" = OrderedDict()
+        self.total_acquired = 0
+        self.total_consumed = 0
+
+    # --------------------------------------------------------------- filling
+
+    def add(self, pas: Iterable[int]) -> None:
+        """Add freshly acquired spare PAs (a new page's shadow section)."""
+        for pa in pas:
+            self._spares[pa] = None
+            self.total_acquired += 1
+
+    # ------------------------------------------------------------- consuming
+
+    def take(self) -> int:
+        """Consume the next spare in register order."""
+        if not self._spares:
+            raise CapacityExhaustedError("no spare virtual shadow blocks")
+        pa, _ = self._spares.popitem(last=False)
+        self.total_consumed += 1
+        return pa
+
+    def take_specific(self, pa: int) -> int:
+        """Consume a specific spare (PA-DA loop formation on migration)."""
+        if pa not in self._spares:
+            raise CapacityExhaustedError(f"PA {pa} is not an unlinked spare")
+        del self._spares[pa]
+        self.total_consumed += 1
+        return pa
+
+    # -------------------------------------------------------------- inspection
+
+    def __contains__(self, pa: int) -> bool:
+        return pa in self._spares
+
+    def __len__(self) -> int:
+        return len(self._spares)
+
+    @property
+    def available(self) -> int:
+        """Spares currently unlinked."""
+        return len(self._spares)
+
+    def peek_all(self) -> List[int]:
+        """All unlinked spares in register order (tests/invariants)."""
+        return list(self._spares.keys())

@@ -1,0 +1,206 @@
+"""The WL-Reviver orchestrator.
+
+:class:`WLReviver` ties together the spare pool, page ledger, link table,
+chain resolver, and retired-page bitmap, and implements the framework
+protocol of Section III:
+
+* **first failure / spare exhaustion on a software write** — report the
+  access to the OS as failed; the retired page's PAs are claimed (shadow
+  section into the spare pool, pointer section registered) and the failed
+  block is linked;
+* **subsequent failures** — hidden with spares, no OS interaction;
+* **failure during migration with no spares** — *suspend*: the framework
+  remembers that space is owed and the next software write is victimized
+  (reported to the OS as failed even though it succeeded); the OS retires
+  that page and retries the write elsewhere, migration then resumes;
+* **linking** — a failed block is linked to a virtual shadow PA; the
+  special case where the PA currently mapping onto the failed block is
+  itself an unlinked spare immediately forms a PA-DA loop (the "data"
+  migrated into the block belongs to a reserved PA and is garbage);
+* **chain reduction** — after every link and every mapping change, chains
+  are flattened back to one step (see :mod:`repro.reviver.chains`).
+
+The class is engine-agnostic: it sees the wear-leveler only as a pair of
+``map``/``inverse`` callables and never touches the chip; the memory
+controller drains :class:`~repro.reviver.links.MetadataWrite` records and
+performs the physical metadata writes itself.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, List, Optional
+
+from ..config import ReviverConfig
+from ..errors import ProtocolError
+from ..osmodel.faults import FaultReporter
+from .bitmap import RetiredPageBitmap
+from .chains import ChainResolver, Resolution
+from .invariants import InvariantChecker
+from .links import LinkTable
+from .pages import AcquiredPage, PageLedger
+from .registers import SparePool
+
+
+class FaultContext(enum.Enum):
+    """Where a write fault was detected."""
+
+    #: A software-issued write (the OS can be interrupted immediately).
+    SOFTWARE = "software"
+    #: A wear-leveling migration write (OS must not be interrupted; suspend).
+    MIGRATION = "migration"
+    #: A framework metadata write (treated like migration).
+    INTERNAL = "internal"
+
+
+class WLReviver:
+    """Framework state machine reviving a wear-leveling scheme."""
+
+    def __init__(self, config: ReviverConfig, reporter: FaultReporter,
+                 map_fn: Callable[[int], int],
+                 inverse_fn: Callable[[int], Optional[int]],
+                 is_failed: Callable[[int], bool],
+                 blocks_per_page: int, block_bytes: int,
+                 num_pages: int) -> None:
+        self.config = config
+        self.reporter = reporter
+        self.map_fn = map_fn
+        self.inverse_fn = inverse_fn
+        self.is_failed = is_failed
+        self.spares = SparePool()
+        self.ledger = PageLedger(config, blocks_per_page, block_bytes)
+        self.links = LinkTable(self.ledger)
+        self.resolver = ChainResolver(self.links, map_fn, is_failed)
+        self.bitmap = RetiredPageBitmap(num_pages,
+                                        replicas=config.bitmap_replicas)
+        #: True while a suspended migration waits for the next software
+        #: write to be victimized for page acquisition.
+        self.acquisition_pending = False
+        #: Blocks that failed while no spare was available; linked as soon
+        #: as the victimized acquisition delivers a page.
+        self._unlinked_failures: List[int] = []
+        #: Failures hidden without interrupting the OS (reporting).
+        self.hidden_failures = 0
+        #: Optional controller hook run after the OS retires a page but
+        #: before its PAs become spares: the OS must copy the page's data
+        #: to its new frame while the old blocks are still untouched.
+        self.page_copier: Optional[Callable[[], None]] = None
+
+    # ---------------------------------------------------------------- queries
+
+    def resolve(self, da: int) -> Resolution:
+        """Follow *da*'s chain (read path; does not modify state)."""
+        return self.resolver.resolve(da)
+
+    def is_reserved_pa(self, pa: int) -> bool:
+        """Whether *pa* belongs to the framework's reserved virtual space."""
+        return (pa in self.spares or self.links.is_linked_vpa(pa)
+                or self.ledger.is_shadow_slot(pa))
+
+    # -------------------------------------------------------------- acquiring
+
+    def acquire_page(self, victim_pa: int, at_write: int,
+                     victimized: bool) -> AcquiredPage:
+        """Report *victim_pa* to the OS and claim the retired page.
+
+        Ordering is load-bearing: the OS copies the retired page's data to
+        its new frame (``page_copier``) *before* the PAs become spares, so
+        no link or chain switch can repurpose a block that still holds the
+        page's software data.
+        """
+        pas = self.reporter.report(victim_pa, at_write, victimized=victimized)
+        event = self.reporter.last_event()
+        assert event is not None
+        if self.page_copier is not None:
+            self.page_copier()
+        self.bitmap.mark_retired(event.page_id)
+        page = self.ledger.claim(event.page_id, pas)
+        self.spares.add(page.shadow_pas)
+        # Blocks that failed during the drought can be linked now.
+        while self._unlinked_failures and self.spares.available:
+            self._link(self._unlinked_failures.pop(0))
+        if not self._unlinked_failures:
+            # Any acquisition satisfies an outstanding suspension, whether
+            # it came from a victimized write or a genuine failure report.
+            self.acquisition_pending = False
+        return page
+
+    # ----------------------------------------------------------- fault events
+
+    def handle_new_failure(self, da: int, context: FaultContext,
+                           victim_pa: Optional[int] = None,
+                           at_write: int = 0) -> bool:
+        """Link newly failed block *da*; returns False when suspended.
+
+        The chip has already marked *da* failed.  On success the block ends
+        linked (possibly on a PA-DA loop) and all affected chains are back
+        to one step.  ``False`` means no spare was available and the context
+        forbids interrupting the OS: the caller must suspend the operation
+        and victimize the next software write.
+        """
+        if self.links.vpa_of(da) is not None:
+            raise ProtocolError(f"block {da} failed twice")
+        if da in self._unlinked_failures:
+            return False  # already queued for the in-flight acquisition
+        if self.spares.available == 0:
+            if context is FaultContext.SOFTWARE:
+                if victim_pa is None:
+                    raise ProtocolError("software fault requires the victim PA")
+                self.acquire_page(victim_pa, at_write, victimized=False)
+            else:
+                self.acquisition_pending = True
+                self._unlinked_failures.append(da)
+                return False
+        else:
+            self.hidden_failures += 1
+        self._link(da)
+        return True
+
+    def _link(self, da: int) -> None:
+        """Link *da* to a spare and restore the one-step property."""
+        mapped_by = self.inverse_fn(da)
+        if mapped_by is not None and mapped_by in self.spares:
+            # The PA owning the data "stored" in da is an unlinked spare:
+            # its content is garbage, so the pair can be retired together
+            # as a PA-DA loop without consuming a healthy shadow.
+            vpa = self.spares.take_specific(mapped_by)
+            self.links.link(da, vpa)
+        else:
+            vpa = self.spares.take()
+            self.links.link(da, vpa)
+            self.resolver.reduce(da)
+        if mapped_by is not None and self.links.is_linked_vpa(mapped_by):
+            upstream = self.links.failed_of(mapped_by)
+            if upstream is not None and upstream != da:
+                # A chain ran through da before it failed; flatten it.
+                self.resolver.reduce(upstream)
+
+    # --------------------------------------------------------- mapping events
+
+    def on_mapping_changed(self, pas: List[int]) -> None:
+        """Re-flatten chains after the wear-leveler remapped *pas*."""
+        for pa in pas:
+            if self.links.is_linked_vpa(pa):
+                owner = self.links.failed_of(pa)
+                if owner is not None:
+                    self.resolver.reduce(owner)
+
+    # ------------------------------------------------------------- reporting
+
+    def make_checker(self, software_pas: Callable[[], List[int]],
+                     failed_blocks: Callable[[], List[int]]) -> InvariantChecker:
+        """Build an invariant checker over this reviver's live state."""
+        return InvariantChecker(self.links, self.spares, self.map_fn,
+                                self.is_failed, software_pas, failed_blocks)
+
+    def stats(self) -> dict:
+        """Counters for experiment reports."""
+        return {
+            "pages_acquired": self.ledger.pages_acquired,
+            "spares_available": self.spares.available,
+            "linked_blocks": len(self.links),
+            "chain_switches": self.resolver.switches,
+            "hidden_failures": self.hidden_failures,
+            "os_reports": self.reporter.report_count,
+            "victimized_writes": self.reporter.victimized_count,
+        }

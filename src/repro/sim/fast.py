@@ -1,0 +1,450 @@
+"""The vectorized epoch engine for lifetime-scale simulation.
+
+The paper's figures require simulating the chip to end of life — tens of
+millions of writes even at scaled endurance — which a per-write Python loop
+cannot sustain.  :class:`FastEngine` preserves the wear *outcome* of the
+exact machinery while batching:
+
+* software writes are applied per epoch as a multinomial count vector,
+  translated virtual->PA->DA with vectorized maps, and redirected through a
+  per-epoch redirect table;
+* the wear-leveler's migration schedule advances in bulk
+  (:meth:`~repro.wl.base.WearLeveler.bulk_migrations`), adding one write of
+  wear per migration to each destination (chains applied);
+* failures are resolved at epoch end; the recovery bookkeeping (WL-Reviver
+  spare pool and page ledger, FREE-p slots, baseline freezing + page
+  retirement) is exact per failure event.
+
+Documented approximations relative to :class:`~repro.sim.engine.ExactEngine`
+(an agreement test bounds them on small configs):
+
+* a block failing mid-epoch absorbs the rest of its epoch traffic before
+  redirection kicks in;
+* WL-Reviver chain *structure* is not maintained — the redirect table
+  follows link chains functionally, which yields the same final wear
+  destination as the paper's one-step switching;
+* inverse-pointer metadata wear is ignored (a handful of writes per page
+  acquisition versus millions of data writes);
+* the victim page for a delayed acquisition is sampled from the epoch's
+  write distribution instead of being literally the next write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..config import ReviverConfig
+from ..errors import CapacityExhaustedError, ProtocolError
+from ..ecc.freep import FreePRegion
+from ..osmodel.allocator import PagePool
+from ..osmodel.faults import FaultReporter
+from ..pcm.chip import PCMChip
+from ..reviver.pages import PageLedger
+from ..reviver.registers import SparePool
+from ..rng import SeedLike, derive_rng
+from ..traces.base import WriteTrace
+from ..wl.base import WearLeveler
+from .metrics import LifetimeSeries, LifetimeSummary
+
+#: Recovery modes the engine understands.
+RECOVERY_MODES = ("reviver", "none", "freep")
+
+
+@dataclass
+class FastConfig:
+    """Engine parameters."""
+
+    recovery: str = "reviver"
+    #: FREE-p pre-reserve as a fraction of the chip (recovery == "freep").
+    freep_reserve: float = 0.05
+    #: Stop when this fraction of device blocks has failed.
+    dead_fraction: float = 0.3
+    #: Software writes per epoch.
+    batch_writes: int = 20_000
+    #: Hard cap on software writes (None = until death).
+    max_writes: Optional[int] = None
+    #: Also stop once usable capacity falls to ``1 - dead_fraction``.
+    #: Table II disables this to reach exact failed-block ratios.
+    stop_on_capacity: bool = True
+    #: OS page size in blocks.
+    blocks_per_page: int = 64
+    reviver: ReviverConfig = field(default_factory=ReviverConfig)
+    seed: SeedLike = None
+
+    def __post_init__(self) -> None:
+        if self.recovery not in RECOVERY_MODES:
+            raise ProtocolError(f"unknown recovery mode {self.recovery!r}")
+        if self.batch_writes <= 0:
+            raise ProtocolError("batch_writes must be positive")
+
+
+class FastEngine:
+    """Vectorized lifetime simulator over chip + wear-leveler + recovery."""
+
+    def __init__(self, chip: PCMChip, wl: WearLeveler, trace: WriteTrace,
+                 config: Optional[FastConfig] = None, label: str = "",
+                 region: Optional[FreePRegion] = None) -> None:
+        self.chip = chip
+        self.wl = wl
+        self.config = config or FastConfig()
+        self.ospool = PagePool(wl.logical_blocks,
+                               blocks_per_page=self.config.blocks_per_page,
+                               seed=self.config.seed)
+        self.reporter = FaultReporter(self.ospool)
+        self.trace = (trace if trace.virtual_blocks == self.ospool.virtual_blocks
+                      else trace.restricted_to(self.ospool.virtual_blocks))
+        self.series = LifetimeSeries(label=label or f"{wl.name}-{self.config.recovery}")
+        self._rng = derive_rng(self.config.seed, "fast-engine")
+        self.total_writes = 0
+        self.stopped_reason: Optional[str] = None
+        # --- recovery state -------------------------------------------------
+        self.region = region
+        if self.config.recovery == "freep":
+            if region is None:
+                self.region = FreePRegion(chip.num_blocks,
+                                          self.config.freep_reserve)
+            if wl.device_blocks != self.region.working_blocks:
+                raise ProtocolError(
+                    "freep mode: wear-leveler must cover the working space")
+        elif wl.device_blocks > chip.num_blocks:
+            raise ProtocolError("wear-leveler space exceeds the chip")
+        #: WL-Reviver fast bookkeeping.
+        self.spares = SparePool()
+        self.ledger = PageLedger(self.config.reviver,
+                                 self.config.blocks_per_page,
+                                 chip.geometry.block_bytes)
+        #: failed DA -> virtual shadow PA (functional chains; no switching).
+        self.links: Dict[int, int] = {}
+        self.hidden_failures = 0
+        #: Per-epoch redirect table (identity + chain targets).
+        self._redirect = np.arange(chip.num_blocks, dtype=np.int64)
+        #: Traffic counts of the current epoch (victim-page sampling).
+        self._epoch_counts: Optional[np.ndarray] = None
+        #: Redirected (extra-access) traffic accumulator for avg access time.
+        self._redirected_traffic = 0
+        #: Failures visible to software (baseline always; FREE-p after its
+        #: region is exhausted).  Drives the block-granular usable metric.
+        self.exposed_failures = 0
+        #: Traffic the OS gave up on after repeated relocation churn.
+        self.dropped_writes = 0
+
+    # ------------------------------------------------------------------- run
+
+    def run(self) -> LifetimeSummary:
+        """Simulate epochs until a stop condition; return the summary."""
+        cfg = self.config
+        budget = cfg.max_writes if cfg.max_writes is not None else float("inf")
+        self._sample()
+        while True:
+            if self.chip.failed_fraction() >= cfg.dead_fraction:
+                self.stopped_reason = "dead-fraction"
+                break
+            if (cfg.stop_on_capacity
+                    and self._usable_fraction() <= 1.0 - cfg.dead_fraction):
+                # The chip is just as unavailable when the lost capacity
+                # comes from retired pages as from dead blocks.
+                self.stopped_reason = "capacity-lost"
+                break
+            if self.total_writes >= budget:
+                self.stopped_reason = "max-writes"
+                break
+            try:
+                self._epoch(int(min(cfg.batch_writes,
+                                    budget - self.total_writes)))
+            except CapacityExhaustedError as exc:
+                self.stopped_reason = f"exhausted: {exc}"
+                break
+            self._sample()
+        self._sample()
+        return LifetimeSummary.from_series(
+            self.series, os_reports=self.reporter.report_count)
+
+    # ----------------------------------------------------------------- epoch
+
+    def _epoch(self, batch: int) -> None:
+        counts = self.trace.batch_counts(batch)
+        self._epoch_counts = counts
+        self._rebuild_redirect()
+        self._apply_software(counts)
+        self.total_writes += batch
+        self._rebuild_redirect()
+        self._advance_wear_leveling()
+
+    def _apply_software(self, counts: np.ndarray) -> None:
+        """Apply the epoch's software writes with overshoot re-issue.
+
+        A block that dies mid-epoch must not silently absorb the rest of
+        its epoch traffic — that would let one shadow block soak up writes
+        that in reality would have killed a chain of successors (the
+        serial-killing dynamics of hot blocks after wear leveling stops).
+        Traffic beyond a dying block's threshold is therefore *re-issued*
+        through the updated redirect/translation in further rounds of the
+        same epoch until it all lands on live blocks.
+        """
+        virtual = np.nonzero(counts)[0]
+        remaining = counts[virtual].astype(np.int64)
+        first_round = True
+        limit = self.chip.num_blocks + self.ospool.num_pages + 4
+        for _ in range(limit):
+            if virtual.size == 0:
+                return
+            # The software pool can shrink mid-epoch (LLS chunk
+            # reservation); traffic to folded-away virtual blocks is lost
+            # in the reorganization.
+            in_range = virtual < self.ospool.virtual_blocks
+            if not in_range.all():
+                self.dropped_writes += int(remaining[~in_range].sum())
+                virtual = virtual[in_range]
+                remaining = remaining[in_range]
+                if virtual.size == 0:
+                    return
+            pas = self.ospool.translate_many(virtual)
+            if first_round:
+                charge = getattr(self.wl, "charge_writes", None)
+                if charge is not None:
+                    # Per-region schedules (RegionedStartGap) are charged
+                    # from the epoch's first-round traffic histogram.
+                    charge(pas, remaining)
+                first_round = False
+            das = self.wl.map_many(pas)
+            finals = self._redirect[das]
+            exposed = self.chip.failed[finals]
+            live_idx = ~exposed
+            newly = self.chip.write_many(finals[live_idx],
+                                         remaining[live_idx])
+            self._redirected_traffic += int(remaining[live_idx][
+                finals[live_idx] != das[live_idx]].sum())
+            # Traffic past a dying block's threshold re-routes next round.
+            overshoot = self._collect_overshoot(newly)
+            self._process_failures(newly)
+            retry = np.zeros(len(virtual), dtype=bool)
+            final_to_index = {int(f): i for i, f in enumerate(finals)}
+            for block, over in overshoot:
+                index = final_to_index[block]
+                remaining[index] = over
+                retry[index] = True
+            if exposed.any():
+                if self.config.recovery == "reviver":
+                    # Theorem 1: software traffic never reaches a dead
+                    # block under WL-Reviver.
+                    raise ProtocolError(
+                        f"software traffic reached dead blocks "
+                        f"{finals[exposed][:5].tolist()} under the reviver")
+                # Known-dead blocks with no redirection (baseline or
+                # exhausted FREE-p): the OS retires those pages; the
+                # affected virtual pages retry at their new frames.  Dead
+                # blocks behind non-retirable PAs (the partial tail page)
+                # just eat the writes.
+                for i in np.nonzero(exposed)[0]:
+                    pa = int(pas[i])
+                    if not self.ospool.pa_in_software_space(pa):
+                        continue
+                    if self.ospool.is_usable(self.ospool.page_of_pa(pa)):
+                        self.reporter.report(pa, self.total_writes)
+                    retry[i] = True
+            if not retry.any():
+                return
+            virtual = virtual[retry]
+            remaining = remaining[retry]
+            self._rebuild_redirect()
+        # Leftover traffic has nowhere live to go (late-life thrashing);
+        # account it rather than looping forever.
+        self.dropped_writes += int(remaining.sum())
+
+    def _collect_overshoot(self, newly: np.ndarray) -> list:
+        """Wear past the threshold of each newly dead block, clawed back.
+
+        Returns ``(block, overshoot)`` pairs and resets each dead block's
+        counter to its threshold so the excess is not double-counted.
+        """
+        pairs = []
+        thresholds = self.chip.ecc.thresholds
+        for block in newly.tolist():
+            over = int(self.chip.wear[block] - thresholds[block])
+            if over > 0:
+                self.chip.wear[block] = thresholds[block]
+                pairs.append((block, over))
+        return pairs
+
+    def _advance_wear_leveling(self) -> None:
+        if self.wl.frozen:
+            return
+        due = self.wl.schedule_due(self.total_writes)
+        if due <= 0:
+            return
+        rows = self.wl.bulk_migrations(due)
+        if rows.size == 0:
+            return
+        dsts = self._redirect[rows[:, 1]]
+        live = ~self.chip.failed[dsts]
+        newly = self.chip.write_many(dsts[live],
+                                     np.ones(int(live.sum()), dtype=np.int64))
+        self._process_failures(newly, migration=True)
+
+    # -------------------------------------------------------------- failures
+
+    def _process_failures(self, newly: np.ndarray,
+                          migration: bool = False) -> None:
+        mode = self.config.recovery
+        for da in newly.tolist():
+            if mode == "reviver":
+                self._reviver_failure(int(da))
+            elif mode == "freep":
+                self._freep_failure(int(da))
+            else:
+                self._baseline_failure(int(da))
+
+    def _baseline_failure(self, da: int) -> None:
+        """No recovery: the scheme freezes and the OS loses a page.
+
+        The failing access surfaces to the OS, which retires the whole
+        page containing the accessed PA (the OS-page-granularity premise
+        of Section III-A) and rehomes the application's virtual page — so
+        the hot data keeps killing blocks wherever it lands (the paper's
+        post-freeze serial-killing dynamics) while each exposed failure
+        costs a full page of capacity, the 64x amplification behind the
+        precipitous usable-space collapse of Figures 7 and 8.
+        """
+        if not self.wl.frozen:
+            self.wl.freeze()
+        self.exposed_failures += 1
+        pa = self.wl.inverse(da)
+        if pa is None or not self.ospool.pa_in_software_space(pa):
+            return  # unmapped (gap line) or tail slack: nothing to retire
+        page = self.ospool.page_of_pa(pa)
+        if self.ospool.is_usable(page):
+            self.reporter.report(pa, self.total_writes)
+
+    def _freep_failure(self, da: int) -> None:
+        if self.region is not None and not self.region.exhausted:
+            self.region.link(da)
+            return
+        self._baseline_failure(da)
+
+    def _reserved_fraction(self) -> float:
+        """Chip fraction pre-reserved or claimed by the recovery layer."""
+        if self.config.recovery == "freep" and self.region is not None:
+            return self.region.reserved_blocks / self.chip.num_blocks
+        if self.config.recovery == "reviver":
+            pages = self.ledger.pages_acquired
+            return pages * self.config.blocks_per_page / self.chip.num_blocks
+        return 0.0
+
+    def _reviver_failure(self, da: int) -> None:
+        if self.spares.available == 0:
+            self._acquire_page(da)
+        else:
+            self.hidden_failures += 1
+        mapped_by = self.wl.inverse(da)
+        if mapped_by is not None and mapped_by in self.spares:
+            # The PA owning the block's data is an unlinked spare: retire
+            # the pair as a PA-DA loop without consuming a healthy shadow.
+            self.links[da] = self.spares.take_specific(mapped_by)
+        else:
+            self.links[da] = self.spares.take()
+
+    def _acquire_page(self, failed_da: int) -> None:
+        """Retire a page and claim its PAs as reviver property."""
+        victim_pa = self._victim_pa(failed_da)
+        pas = self.reporter.report(victim_pa, self.total_writes)
+        event = self.reporter.last_event()
+        assert event is not None
+        page = self.ledger.claim(event.page_id, pas)
+        self.spares.add(page.shadow_pas)
+
+    def _victim_pa(self, failed_da: int) -> int:
+        """Pick the PA whose page the OS retires for this acquisition.
+
+        Software-exposed failures retire the page of the PA that maps to the
+        failed block; otherwise (migration-detected, or that PA already
+        reserved) the next software write is victimized — approximated by a
+        traffic-weighted sample from the current epoch.
+        """
+        mapped_by = self.wl.inverse(failed_da)
+        if mapped_by is not None and self.ospool.pa_in_software_space(mapped_by):
+            if self.ospool.is_usable(mapped_by // self.ospool.blocks_per_page):
+                return mapped_by
+        counts = self._epoch_counts
+        if counts is not None and counts.sum() > 0:
+            probabilities = counts / counts.sum()
+            vblock = int(self._rng.choice(len(counts), p=probabilities))
+        else:
+            vblock = int(self._rng.integers(0, self.ospool.virtual_blocks))
+        return self.ospool.translate(vblock)
+
+    # -------------------------------------------------------------- redirect
+
+    def _rebuild_redirect(self) -> None:
+        """Recompute the failed-block redirect table for the current maps."""
+        self._redirect = np.arange(self.chip.num_blocks, dtype=np.int64)
+        mode = self.config.recovery
+        if mode == "freep" and self.region is not None:
+            for origin, slot in self.region.links.items():
+                self._redirect[origin] = slot
+            return
+        if mode != "reviver" or not self.links:
+            return
+        failed_das = np.fromiter(self.links.keys(), dtype=np.int64,
+                                 count=len(self.links))
+        vpas = np.fromiter(self.links.values(), dtype=np.int64,
+                           count=len(self.links))
+        shadows = self.wl.map_many(vpas)
+        targets = dict(zip(failed_das.tolist(), shadows.tolist()))
+        for da in failed_das.tolist():
+            final = da
+            seen = set()
+            cursor = da
+            while cursor in targets and cursor not in seen:
+                seen.add(cursor)
+                cursor = targets[cursor]
+            # cursor is healthy, or the walk closed a loop (garbage data).
+            final = cursor if not self.chip.failed[cursor] else da
+            self._redirect[da] = final
+
+    # --------------------------------------------------------------- metrics
+
+    def _sample(self) -> None:
+        avg = 1.0
+        if self.total_writes:
+            avg = 1.0 + self._redirected_traffic / self.total_writes
+        self.series.record(
+            writes=self.total_writes,
+            survival=1.0 - self.chip.failed_fraction(),
+            usable=self._usable_fraction(),
+            avg_access=avg)
+
+    def _usable_fraction(self) -> float:
+        """Software-usable chip fraction, per Figure 7's definition.
+
+        Pre-reserved space (FREE-p's region, WL-Reviver's acquired pages)
+        and pages retired after exposed failures are excluded; failures
+        *hidden* by a recovery layer cost nothing beyond the reservation
+        that hides them.  Accounting is page-granular, per the OS premise
+        of Section III-A: a page with a reported error is never used again.
+        """
+        reserved = self._reserved_fraction()
+        if self.config.recovery == "reviver":
+            # Acquired pages are already excluded from the pool; nothing
+            # else is lost (every failure hides behind them).
+            return max(0.0, 1.0 - reserved)
+        retired = (self.ospool.retired_pages * self.ospool.blocks_per_page
+                   / self.chip.num_blocks)
+        return max(0.0, 1.0 - reserved - retired)
+
+    def stats(self) -> dict:
+        """Counters for experiment reports."""
+        return {
+            "total_writes": self.total_writes,
+            "failed_fraction": self.chip.failed_fraction(),
+            "usable_fraction": self._usable_fraction(),
+            "pages_acquired": self.ledger.pages_acquired,
+            "spares_available": self.spares.available,
+            "linked_blocks": len(self.links),
+            "hidden_failures": self.hidden_failures,
+            "os_reports": self.reporter.report_count,
+            "wl_frozen": self.wl.frozen,
+            "stopped": self.stopped_reason,
+        }

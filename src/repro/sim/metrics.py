@@ -1,0 +1,123 @@
+"""Metric collectors shared by both engines.
+
+The paper reports three families of results:
+
+* **lifetime** — software writes sustained until a target fraction of
+  blocks has failed (Figure 5 uses 30 %);
+* **survival-rate curves** — percentage of blocks still alive versus
+  writes (Figure 6), and the usable-space analogues (Figures 7-8);
+* **access time** — PCM accesses per software request (Table II).
+
+:class:`LifetimeSeries` samples all of them on a fixed write grid so
+different configurations can be compared point-by-point.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+
+@dataclass(frozen=True)
+class SamplePoint:
+    """One sample of the chip's state."""
+
+    #: Software writes serviced so far.
+    writes: int
+    #: Fraction of device blocks still healthy.
+    survival: float
+    #: Fraction of the chip usable by software (pages still in the pool).
+    usable: float
+    #: Mean PCM accesses per software request so far (0 if untracked).
+    avg_access: float = 0.0
+
+
+@dataclass
+class LifetimeSeries:
+    """Append-only series of :class:`SamplePoint`, with query helpers."""
+
+    label: str = ""
+    points: List[SamplePoint] = field(default_factory=list)
+
+    def record(self, writes: int, survival: float, usable: float,
+               avg_access: float = 0.0) -> None:
+        """Append a sample (writes must be non-decreasing)."""
+        self.points.append(SamplePoint(writes, survival, usable, avg_access))
+
+    # ----------------------------------------------------------------- query
+
+    @property
+    def total_writes(self) -> int:
+        """Writes at the last sample."""
+        return self.points[-1].writes if self.points else 0
+
+    def writes_to_survival(self, threshold: float) -> Optional[int]:
+        """First sampled write count at which survival drops to *threshold*.
+
+        Returns ``None`` if the series never reaches it.  This is the
+        paper's lifetime metric with ``threshold = 0.7`` (30 % failed).
+        """
+        for point in self.points:
+            if point.survival <= threshold:
+                return point.writes
+        return None
+
+    def writes_to_usable(self, threshold: float) -> Optional[int]:
+        """First sampled write count at which usable space drops that low."""
+        for point in self.points:
+            if point.usable <= threshold:
+                return point.writes
+        return None
+
+    def survival_at(self, writes: int) -> float:
+        """Survival at the latest sample not after *writes*."""
+        return self._at(writes).survival
+
+    def usable_at(self, writes: int) -> float:
+        """Usable fraction at the latest sample not after *writes*."""
+        return self._at(writes).usable
+
+    def _at(self, writes: int) -> SamplePoint:
+        if not self.points:
+            return SamplePoint(0, 1.0, 1.0)
+        keys = [p.writes for p in self.points]
+        index = bisect.bisect_right(keys, writes) - 1
+        if index < 0:
+            return SamplePoint(0, 1.0, 1.0)
+        return self.points[index]
+
+    def trimmed(self, min_survival: float) -> "LifetimeSeries":
+        """Copy containing only samples with survival >= *min_survival*.
+
+        Figure 6 plots survival down to 70 % only ("a more severely faulted
+        PCM is less likely to be usable in practice").
+        """
+        kept = [p for p in self.points if p.survival >= min_survival]
+        return LifetimeSeries(label=self.label, points=kept)
+
+
+@dataclass(frozen=True)
+class LifetimeSummary:
+    """End-of-run summary used by the experiment tables."""
+
+    label: str
+    #: Writes sustained until the dead-fraction stop condition.
+    lifetime_writes: int
+    #: Survival fraction at the end of the run.
+    final_survival: float
+    #: Usable-space fraction at the end of the run.
+    final_usable: float
+    #: Mean PCM accesses per software request over the whole run.
+    avg_access: float
+    #: Times the OS was interrupted with an access error.
+    os_reports: int = 0
+
+    @classmethod
+    def from_series(cls, series: LifetimeSeries,
+                    os_reports: int = 0) -> "LifetimeSummary":
+        """Summarize a finished series."""
+        last = series.points[-1] if series.points else SamplePoint(0, 1.0, 1.0)
+        return cls(label=series.label, lifetime_writes=last.writes,
+                   final_survival=last.survival, final_usable=last.usable,
+                   avg_access=last.avg_access, os_reports=os_reports)

@@ -1,0 +1,96 @@
+"""Trace interfaces.
+
+A :class:`WriteTrace` produces virtual-block write addresses two ways:
+
+* one at a time (:meth:`next_write`) for the exact engine;
+* as per-block counts over a batch (:meth:`batch_counts`) for the fast
+  engine, which applies a whole batch of writes vectorized.
+
+:class:`DistributionTrace` is the stationary case — a fixed probability
+vector over the virtual block space — which covers both the synthetic
+benchmark models and the attack streams the paper considers (wear-leveling
+analysis traditionally assumes stationary write distributions; the schemes
+themselves are history-less).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, derive_rng
+
+
+class WriteTrace(abc.ABC):
+    """A stream of virtual-block write addresses."""
+
+    def __init__(self, virtual_blocks: int, name: str = "trace") -> None:
+        if virtual_blocks <= 0:
+            raise ConfigurationError("virtual_blocks must be positive")
+        self.virtual_blocks = virtual_blocks
+        self.name = name
+
+    @abc.abstractmethod
+    def next_write(self) -> int:
+        """Next virtual block address to write."""
+
+    @abc.abstractmethod
+    def batch_counts(self, batch: int) -> np.ndarray:
+        """Per-virtual-block write counts for the next *batch* writes."""
+
+    def reset(self) -> None:
+        """Restart the stream (optional for stationary traces)."""
+
+
+class DistributionTrace(WriteTrace):
+    """Stationary trace: i.i.d. draws from a fixed block distribution."""
+
+    def __init__(self, probabilities: np.ndarray, name: str = "distribution",
+                 seed: SeedLike = None) -> None:
+        probabilities = np.asarray(probabilities, dtype=np.float64)
+        super().__init__(len(probabilities), name=name)
+        total = probabilities.sum()
+        if total <= 0 or (probabilities < 0).any():
+            raise ConfigurationError("probabilities must be non-negative, sum > 0")
+        self.probabilities = probabilities / total
+        self._seed = seed
+        self._rng = derive_rng(seed, f"trace-{name}")
+        # Buffered single draws so next_write() amortizes generator calls.
+        self._buffer: Optional[np.ndarray] = None
+        self._buffer_pos = 0
+
+    def next_write(self) -> int:
+        if self._buffer is None or self._buffer_pos >= len(self._buffer):
+            self._buffer = self._rng.choice(
+                self.virtual_blocks, size=4096, p=self.probabilities)
+            self._buffer_pos = 0
+        value = int(self._buffer[self._buffer_pos])
+        self._buffer_pos += 1
+        return value
+
+    def batch_counts(self, batch: int) -> np.ndarray:
+        return self._rng.multinomial(batch, self.probabilities)
+
+    def reset(self) -> None:
+        self._rng = derive_rng(self._seed, f"trace-{self.name}")
+        self._buffer = None
+        self._buffer_pos = 0
+
+    def restricted_to(self, virtual_blocks: int) -> "DistributionTrace":
+        """Fold the distribution onto a smaller virtual space.
+
+        Used when an engine's software space is smaller than the space the
+        distribution was built for: the tail mass wraps around, preserving
+        hot-set structure.
+        """
+        if virtual_blocks >= self.virtual_blocks:
+            return self
+        folded = np.zeros(virtual_blocks, dtype=np.float64)
+        for start in range(0, self.virtual_blocks, virtual_blocks):
+            chunk = self.probabilities[start:start + virtual_blocks]
+            folded[:len(chunk)] += chunk
+        return DistributionTrace(folded, name=f"{self.name}-folded",
+                                 seed=self._seed)

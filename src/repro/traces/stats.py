@@ -1,0 +1,57 @@
+"""Write-distribution statistics.
+
+The paper characterizes every workload with one number — the CoV
+(coefficient of variation, std/mean) of per-block write counts — and uses
+it to explain all lifetime differences.  These helpers compute it from raw
+address streams, count vectors, or probability vectors.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def counts_cov(counts: np.ndarray) -> float:
+    """CoV of a per-block write-count vector."""
+    counts = np.asarray(counts, dtype=np.float64)
+    mean = counts.mean() if counts.size else 0.0
+    if mean == 0.0:
+        return 0.0
+    return float(counts.std() / mean)
+
+
+def write_cov(addresses: np.ndarray, virtual_blocks: int) -> float:
+    """CoV measured from a raw virtual-address write stream."""
+    counts = np.bincount(np.asarray(addresses, dtype=np.int64),
+                         minlength=virtual_blocks)
+    return counts_cov(counts)
+
+
+def distribution_cov(probabilities: np.ndarray) -> float:
+    """Asymptotic CoV of an i.i.d. stream drawn from *probabilities*.
+
+    As the number of writes grows, the count vector converges to
+    ``W * p``, so the count CoV converges to ``std(p) / mean(p)``.
+    """
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    mean = probabilities.mean()
+    if mean == 0.0:
+        return 0.0
+    return float(probabilities.std() / mean)
+
+
+def expected_sampled_cov(probabilities: np.ndarray, writes: int) -> float:
+    """Expected measured CoV after *writes* multinomial draws.
+
+    Finite sampling inflates the CoV: for a multinomial count vector,
+    ``E[var(counts)] ~ (W/V) * (1 - 1/V) + W^2 var(p)``; normalizing by the
+    mean ``W/V`` gives the formula below.  Useful for choosing trace lengths
+    whose measured CoV sits close to the asymptotic target (Table I bench).
+    """
+    probabilities = np.asarray(probabilities, dtype=np.float64)
+    v = len(probabilities)
+    if v == 0 or writes <= 0:
+        return 0.0
+    asymptotic = distribution_cov(probabilities)
+    sampling_term = v / writes
+    return float(np.sqrt(asymptotic ** 2 + sampling_term))

@@ -1,0 +1,50 @@
+"""Wear-leveling schemes.
+
+Every scheme implements :class:`~repro.wl.base.WearLeveler`: an invertible
+PA-to-DA mapping plus a write-triggered migration schedule driven through a
+:class:`~repro.wl.base.MigrationPort`.  WL-Reviver interacts with schemes
+*only* through the port's migrate operations (the one operation the paper
+assumes is common to all schemes), so the framework code never needs to know
+which scheme is running.
+
+Schemes:
+
+* :class:`~repro.wl.startgap.StartGap` — Start-Gap with static address
+  randomization (Qureshi et al., MICRO'09); the paper's representative.
+* :class:`~repro.wl.regioned.RegionedStartGap` — the original paper's
+  deployed form: independent Start-Gap instances per region, each with its
+  own per-region write schedule.
+* :class:`~repro.wl.secref.SecurityRefresh` — single-level Security Refresh
+  (Seong et al., ISCA'10): key-XOR remapping with in-place pair swaps.
+* :class:`~repro.wl.secref2.TwoLevelSecurityRefresh` — the ISCA'10 paper's
+  full design: per-sub-region inner refreshers under an outer sub-region
+  permutation.
+* :class:`~repro.wl.table.TableWL` — the "traditional" indirection-table
+  scheme (hot/cold swapping) the paper's introduction argues is too
+  expensive for hardware; kept as a reference point.
+* :class:`~repro.wl.nowl.NoWL` — identity mapping, no migration.
+"""
+
+from .base import MigrationPort, WearLeveler, NullPort
+from .randomizer import (
+    AddressRandomizer,
+    FeistelRandomizer,
+    IdentityRandomizer,
+    PermutationRandomizer,
+    RestrictedRandomizer,
+    make_randomizer,
+)
+from .startgap import StartGap
+from .regioned import RegionedStartGap
+from .secref import SecurityRefresh
+from .secref2 import TwoLevelSecurityRefresh
+from .table import TableWL
+from .nowl import NoWL
+
+__all__ = [
+    "MigrationPort", "WearLeveler", "NullPort",
+    "AddressRandomizer", "FeistelRandomizer", "IdentityRandomizer",
+    "PermutationRandomizer", "RestrictedRandomizer", "make_randomizer",
+    "StartGap", "RegionedStartGap", "SecurityRefresh",
+    "TwoLevelSecurityRefresh", "TableWL", "NoWL",
+]

@@ -1,0 +1,40 @@
+"""No wear leveling: the identity mapping, no migrations.
+
+The "ECP6" / "PAYG" curves of Figure 6 (no -SG suffix) run this scheme —
+writes land where the software puts them and hot blocks die first.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from .base import MigrationPort, WearLeveler
+
+
+class NoWL(WearLeveler):
+    """Identity PA-to-DA mapping with an empty migration schedule."""
+
+    @property
+    def logical_blocks(self) -> int:
+        return self.device_blocks
+
+    def map(self, pa: int) -> int:
+        return pa
+
+    def inverse(self, da: int) -> Optional[int]:
+        return da
+
+    def map_many(self, pas: np.ndarray) -> np.ndarray:
+        return np.asarray(pas, dtype=np.int64)
+
+    def tick(self, port: MigrationPort, pa: Optional[int] = None) -> List[int]:
+        self.write_count += 1
+        return []
+
+    def schedule_due(self, total_software_writes: int) -> int:
+        return 0
+
+    def bulk_migrations(self, moves: int) -> np.ndarray:
+        return np.empty((0, 2), dtype=np.int64)

@@ -1,0 +1,158 @@
+"""Security Refresh, single level (Seong et al., ISCA 2010).
+
+The scheme remaps a region of ``2^k`` blocks with two random XOR keys: the
+previous round's key ``k_prev`` and the current round's key ``k_cur``.  A
+*refresh pointer* ``rp`` sweeps the logical addresses; every
+``refresh_interval`` writes to the region it refreshes one address by
+swapping the data of the address pair that the key change affects.
+
+Because the remapping is an XOR, refreshes happen in pairs: refreshing
+logical address ``ma`` also places the data of its partner
+``ma ^ k_prev ^ k_cur``.  An address therefore counts as refreshed when
+*either* it or its partner is below ``rp``; when ``rp`` later reaches the
+partner the refresh is a no-op.  Swaps go through a buffer register, never a
+spare PCM block, so all ``2^k`` physical blocks are mapped — the *implicit*
+buffer block of Theorem 3.
+
+Mapping: ``da = ma ^ k_cur`` if refreshed else ``ma ^ k_prev``; both
+directions are the same XOR, which makes the inverse trivial.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..config import SecurityRefreshConfig
+from ..errors import ConfigurationError
+from ..rng import derive_rng
+from ..units import is_power_of_two
+from .base import MigrationPort, WearLeveler
+
+
+class SecurityRefresh(WearLeveler):
+    """Single-level Security Refresh over a power-of-two region."""
+
+    def __init__(self, device_blocks: int,
+                 config: Optional[SecurityRefreshConfig] = None) -> None:
+        super().__init__(device_blocks)
+        if not is_power_of_two(device_blocks):
+            raise ConfigurationError(
+                "Security Refresh requires a power-of-two region "
+                f"(got {device_blocks} blocks)")
+        self.config = config or SecurityRefreshConfig()
+        self._rng = derive_rng(self.config.seed, "secref-keys")
+        self.key_prev = 0
+        self.key_cur = self._draw_key()
+        #: Next logical address to refresh in this round.
+        self.rp = 0
+        #: Completed refresh rounds.
+        self.rounds = 0
+        #: Refresh operations performed (including pair no-ops).
+        self.refreshes = 0
+
+    def _draw_key(self) -> int:
+        return int(self._rng.integers(0, self.device_blocks))
+
+    # ------------------------------------------------------------ capacities
+
+    @property
+    def logical_blocks(self) -> int:
+        return self.device_blocks
+
+    # --------------------------------------------------------------- mapping
+
+    def _refreshed(self, ma: int) -> bool:
+        partner = ma ^ self.key_prev ^ self.key_cur
+        return ma < self.rp or partner < self.rp
+
+    def map(self, pa: int) -> int:
+        if self._refreshed(pa):
+            return pa ^ self.key_cur
+        return pa ^ self.key_prev
+
+    def inverse(self, da: int) -> Optional[int]:
+        candidate = da ^ self.key_cur
+        if self._refreshed(candidate):
+            return candidate
+        return da ^ self.key_prev
+
+    def map_many(self, pas: np.ndarray) -> np.ndarray:
+        pas = np.asarray(pas, dtype=np.int64)
+        partners = pas ^ (self.key_prev ^ self.key_cur)
+        refreshed = (pas < self.rp) | (partners < self.rp)
+        return np.where(refreshed, pas ^ self.key_cur, pas ^ self.key_prev)
+
+    # ------------------------------------------------------------- migration
+
+    def _due_refreshes(self) -> int:
+        """Refresh operations owed given the write count so far."""
+        return self.write_count // self.config.refresh_interval - self.refreshes
+
+    def _refresh_one(self, port: MigrationPort) -> List[int]:
+        """Refresh logical address ``rp``; return PAs whose mapping changed."""
+        ma = self.rp
+        partner = ma ^ self.key_prev ^ self.key_cur
+        if partner <= ma:
+            # Pair already refreshed earlier in the round (or key collision
+            # made the pair degenerate): advancing the pointer is enough.
+            self._advance_rp()
+            return []
+        da_a = ma ^ self.key_prev       # current home of ma's data
+        da_b = ma ^ self.key_cur        # == partner ^ key_prev
+        tag_a = port.read_migration(da_a)
+        tag_b = port.read_migration(da_b)
+        # Commit the remapping, then store both data under their new owner
+        # PAs (the swap's buffer register is implicit in the port).
+        self._advance_rp()
+        port.write_migration_pa(ma, tag_a)
+        port.write_migration_pa(partner, tag_b)
+        return [ma, partner]
+
+    def _advance_rp(self) -> None:
+        self.refreshes += 1
+        self.rp += 1
+        if self.rp >= self.logical_blocks:
+            self.rounds += 1
+            self.rp = 0
+            self.key_prev = self.key_cur
+            self.key_cur = self._draw_key()
+
+    def tick(self, port: MigrationPort, pa: Optional[int] = None) -> List[int]:
+        if self.frozen:
+            return []
+        self.write_count += 1
+        changed: List[int] = []
+        while self._due_refreshes() > 0 and port.can_start_migration():
+            changed.extend(self._refresh_one(port))
+        return changed
+
+    def schedule_due(self, total_software_writes: int) -> int:
+        return max(0, total_software_writes // self.config.refresh_interval
+                   - self.refreshes)
+
+    def bulk_migrations(self, moves: int) -> np.ndarray:
+        if self.frozen or moves <= 0:
+            return np.empty((0, 2), dtype=np.int64)
+        rows: List[tuple] = []
+        for _ in range(moves):
+            ma = self.rp
+            partner = ma ^ self.key_prev ^ self.key_cur
+            if partner > ma:
+                da_a = ma ^ self.key_prev
+                da_b = ma ^ self.key_cur
+                rows.append((da_a, da_b))
+                rows.append((da_b, da_a))
+            self._advance_rp()
+        if not rows:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.asarray(rows, dtype=np.int64)
+
+    # -------------------------------------------------------------- reporting
+
+    def describe(self) -> str:
+        """One-line state summary."""
+        return (f"SecurityRefresh(N={self.device_blocks}, "
+                f"interval={self.config.refresh_interval}, rp={self.rp}, "
+                f"round={self.rounds}, frozen={self.frozen})")

@@ -1,0 +1,259 @@
+"""Two-level Security Refresh (Seong et al., ISCA 2010, full design).
+
+The single-level scheme (:mod:`repro.wl.secref`) refreshes one flat region;
+the published design composes two levels to get fast local refresh without
+global data movement on every step:
+
+* the memory splits into ``2^k`` *sub-regions* of ``2^m`` blocks;
+* an **inner** Security Refresh instance runs independently inside each
+  sub-region (own keys, own refresh pointer, charged by the writes landing
+  in that sub-region);
+* an **outer** Security Refresh instance permutes which *physical*
+  sub-region backs each *logical* sub-region; one outer refresh migrates a
+  whole sub-region pair (``2 * 2^m`` block writes), so its interval is
+  correspondingly long.
+
+Mapping composition (all powers of two):
+
+``da = outer.map(sub) * 2^m + inner[sub].map(offset)``
+  where ``(sub, offset) = divmod(pa, 2^m)``.
+
+Both levels are the verified single-level implementation, so bijectivity
+and the commit-first migration discipline carry over; the inner instances
+are keyed per *logical* sub-region, which keeps their state attached to
+the data as the outer level moves it.  WL-Reviver needs no changes — this
+scheme exists precisely to stress the framework's "any scheme" claim with
+a composite, hierarchically-scheduled migrator.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..config import SecurityRefreshConfig
+from ..errors import ConfigurationError
+from ..units import is_power_of_two, log2_exact
+from .base import MigrationPort, WearLeveler
+from .secref import SecurityRefresh
+
+
+class TwoLevelSecurityRefresh(WearLeveler):
+    """Outer sub-region permutation over per-sub-region inner refreshers."""
+
+    def __init__(self, device_blocks: int, num_subregions: int = 8,
+                 inner_interval: int = 100,
+                 outer_interval: Optional[int] = None,
+                 seed: int = 3) -> None:
+        super().__init__(device_blocks)
+        if not is_power_of_two(device_blocks):
+            raise ConfigurationError("device_blocks must be a power of two")
+        if not is_power_of_two(num_subregions):
+            raise ConfigurationError("num_subregions must be a power of two")
+        if num_subregions >= device_blocks:
+            raise ConfigurationError("sub-regions must hold >= 2 blocks")
+        self.num_subregions = num_subregions
+        self.sub_blocks = device_blocks // num_subregions
+        self._sub_bits = log2_exact(self.sub_blocks)
+        if outer_interval is None:
+            # One outer refresh costs 2 * sub_blocks migrations; keep its
+            # amortized write overhead equal to the inner level's.
+            outer_interval = inner_interval * 2 * self.sub_blocks
+        self.outer = SecurityRefresh(
+            num_subregions,
+            config=SecurityRefreshConfig(refresh_interval=outer_interval,
+                                         seed=seed))
+        self.inner: List[SecurityRefresh] = [
+            SecurityRefresh(self.sub_blocks,
+                            config=SecurityRefreshConfig(
+                                refresh_interval=inner_interval,
+                                seed=seed + 1 + index))
+            for index in range(num_subregions)]
+
+    # ------------------------------------------------------------ capacities
+
+    @property
+    def logical_blocks(self) -> int:
+        return self.device_blocks
+
+    # --------------------------------------------------------------- mapping
+
+    def _split(self, pa: int) -> tuple:
+        return pa >> self._sub_bits, pa & (self.sub_blocks - 1)
+
+    def map(self, pa: int) -> int:
+        sub, offset = self._split(pa)
+        return (self.outer.map(sub) << self._sub_bits) \
+            | self.inner[sub].map(offset)
+
+    def inverse(self, da: int) -> Optional[int]:
+        physical_sub, physical_offset = self._split(da)
+        sub = self.outer.inverse(physical_sub)
+        offset = self.inner[sub].inverse(physical_offset)
+        return (sub << self._sub_bits) | offset
+
+    def map_many(self, pas: np.ndarray) -> np.ndarray:
+        pas = np.asarray(pas, dtype=np.int64)
+        subs = pas >> self._sub_bits
+        offsets = pas & (self.sub_blocks - 1)
+        physical_subs = self.outer.map_many(subs)
+        out = np.empty(len(pas), dtype=np.int64)
+        for sub in np.unique(subs):
+            mask = subs == sub
+            out[mask] = ((physical_subs[mask] << self._sub_bits)
+                         | self.inner[int(sub)].map_many(offsets[mask]))
+        return out
+
+    # ------------------------------------------------------------- migration
+
+    class _InnerPort:
+        """Lifts a sub-region's local operations to global addresses.
+
+        The inner scheme thinks in offsets; reads arrive as *local DAs*
+        (offset under the inner mapping) and writes as *local PAs*
+        (offsets).  Globalization goes through the *current outer mapping*
+        for reads and through the parent's composed mapping for writes.
+        """
+
+        def __init__(self, parent: "TwoLevelSecurityRefresh",
+                     sub: int, port: MigrationPort) -> None:
+            self._parent = parent
+            self._sub = sub
+            self._port = port
+
+        def can_start_migration(self) -> bool:
+            return self._port.can_start_migration()
+
+        def read_migration(self, local_da: int) -> int:
+            base = (self._parent.outer.map(self._sub)
+                    << self._parent._sub_bits)
+            return self._port.read_migration(base | local_da)
+
+        def write_migration_pa(self, local_pa: int, tag: int) -> None:
+            global_pa = (self._sub << self._parent._sub_bits) | local_pa
+            self._port.write_migration_pa(global_pa, tag)
+
+    def tick(self, port: MigrationPort, pa: Optional[int] = None) -> List[int]:
+        if self.frozen:
+            return []
+        self.write_count += 1
+        changed: List[int] = []
+        # Inner level: charge the written sub-region.
+        if pa is not None:
+            sub = pa >> self._sub_bits
+        else:
+            sub = self.write_count % self.num_subregions
+        inner = self.inner[sub]
+        local_changed = inner.tick(self._InnerPort(self, sub, port))
+        changed.extend((sub << self._sub_bits) | off for off in local_changed)
+        # Outer level: one sub-region swap when due.
+        changed.extend(self._outer_tick(port))
+        return changed
+
+    def _outer_tick(self, port: MigrationPort) -> List[int]:
+        self.outer.write_count += 1
+        due = (self.outer.write_count
+               // self.outer.config.refresh_interval) - self.outer.refreshes
+        changed: List[int] = []
+        while due > 0 and port.can_start_migration():
+            changed.extend(self._outer_refresh_one(port))
+            due -= 1
+        return changed
+
+    def _outer_refresh_one(self, port: MigrationPort) -> List[int]:
+        """Refresh one outer address: migrate a whole sub-region pair."""
+        sub = self.outer.rp
+        partner = sub ^ self.outer.key_prev ^ self.outer.key_cur
+        if partner <= sub:
+            self.outer._advance_rp()
+            return []
+        # Read both sub-regions through the pre-commit mapping.
+        tags_a = [port.read_migration(self.map((sub << self._sub_bits) | off))
+                  for off in range(self.sub_blocks)]
+        tags_b = [port.read_migration(
+            self.map((partner << self._sub_bits) | off))
+            for off in range(self.sub_blocks)]
+        self.outer._advance_rp()  # commit the outer remapping
+        for off, tag in enumerate(tags_a):
+            port.write_migration_pa((sub << self._sub_bits) | off, tag)
+        for off, tag in enumerate(tags_b):
+            port.write_migration_pa((partner << self._sub_bits) | off, tag)
+        base_a = sub << self._sub_bits
+        base_b = partner << self._sub_bits
+        return ([base_a | off for off in range(self.sub_blocks)]
+                + [base_b | off for off in range(self.sub_blocks)])
+
+    # ------------------------------------------------------------ bulk (fast)
+
+    def charge_writes(self, pas: np.ndarray, counts: np.ndarray) -> None:
+        """Bulk-charge inner schedules per sub-region (fast engine)."""
+        subs = np.asarray(pas, dtype=np.int64) >> self._sub_bits
+        counts = np.asarray(counts, dtype=np.int64)
+        for sub in np.unique(subs):
+            mask = subs == sub
+            self.inner[int(sub)].write_count += int(counts[mask].sum())
+        self.outer.write_count += int(counts.sum())
+
+    def schedule_due(self, total_software_writes: int) -> int:
+        inner_due = sum(
+            max(0, inner.write_count // inner.config.refresh_interval
+                - inner.refreshes)
+            for inner in self.inner)
+        outer_due = max(0, self.outer.write_count
+                        // self.outer.config.refresh_interval
+                        - self.outer.refreshes)
+        return inner_due + outer_due
+
+    def bulk_migrations(self, moves: int) -> np.ndarray:
+        if self.frozen or moves <= 0:
+            return np.empty((0, 2), dtype=np.int64)
+        rows: List[np.ndarray] = []
+        for _ in range(moves):
+            # Serve the most indebted inner region first, then the outer.
+            debts = [inner.write_count // inner.config.refresh_interval
+                     - inner.refreshes for inner in self.inner]
+            best = int(np.argmax(debts))
+            if debts[best] > 0:
+                base = self.outer.map(best) << self._sub_bits
+                local = self.inner[best].bulk_migrations(1)
+                if local.size:
+                    rows.append(local + base)
+                continue
+            outer_due = (self.outer.write_count
+                         // self.outer.config.refresh_interval
+                         - self.outer.refreshes)
+            if outer_due <= 0:
+                break
+            rows.append(self._outer_bulk_rows())
+        if not rows:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.concatenate([r for r in rows if r.size],
+                              axis=0).astype(np.int64)
+
+    def _outer_bulk_rows(self) -> np.ndarray:
+        sub = self.outer.rp
+        partner = sub ^ self.outer.key_prev ^ self.outer.key_cur
+        if partner <= sub:
+            self.outer._advance_rp()
+            return np.empty((0, 2), dtype=np.int64)
+        src_a = (self.outer.map(sub) << self._sub_bits) \
+            + np.arange(self.sub_blocks)
+        src_b = (self.outer.map(partner) << self._sub_bits) \
+            + np.arange(self.sub_blocks)
+        self.outer._advance_rp()
+        dst_a = (self.outer.map(sub) << self._sub_bits) \
+            + np.arange(self.sub_blocks)
+        dst_b = (self.outer.map(partner) << self._sub_bits) \
+            + np.arange(self.sub_blocks)
+        return np.concatenate([
+            np.stack([src_a, dst_a], axis=1),
+            np.stack([src_b, dst_b], axis=1)], axis=0)
+
+    # -------------------------------------------------------------- reporting
+
+    def describe(self) -> str:
+        """One-line state summary."""
+        return (f"TwoLevelSecurityRefresh(subs={self.num_subregions}x"
+                f"{self.sub_blocks}, outer_rp={self.outer.rp}, "
+                f"outer_round={self.outer.rounds}, frozen={self.frozen})")

@@ -1,0 +1,125 @@
+"""Traditional table-based wear leveling.
+
+The paper's introduction describes the approach state-of-the-art schemes
+replaced: track every block's write count, keep a full indirection table,
+and periodically swap the hottest block's data with the coldest block's.
+It levels well but costs a table lookup per access and counter storage —
+exactly the overhead Start-Gap and Security Refresh avoid.  It is included
+as a reference scheme to demonstrate the framework's scheme-independence
+(WL-Reviver only needs the migrate operation) and for ablation experiments.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from .base import MigrationPort, WearLeveler
+
+
+class TableWL(WearLeveler):
+    """Hot/cold swapping over an explicit indirection table."""
+
+    def __init__(self, device_blocks: int, swap_interval: int = 100) -> None:
+        super().__init__(device_blocks)
+        if swap_interval <= 0:
+            raise ConfigurationError("swap_interval must be positive")
+        self.swap_interval = swap_interval
+        self._table = np.arange(device_blocks, dtype=np.int64)
+        self._inverse = np.arange(device_blocks, dtype=np.int64)
+        #: Cumulative writes absorbed per device block (wear; stays with
+        #: the block through swaps — the cold-pick criterion).
+        self.block_writes = np.zeros(device_blocks, dtype=np.int64)
+        #: Recent writes per PA (heat; follows the data — the hot-pick
+        #: criterion).  Halved at each swap to favor recency.
+        self.pa_writes = np.zeros(device_blocks, dtype=np.int64)
+        self.swaps = 0
+
+    # ------------------------------------------------------------ capacities
+
+    @property
+    def logical_blocks(self) -> int:
+        return self.device_blocks
+
+    # --------------------------------------------------------------- mapping
+
+    def map(self, pa: int) -> int:
+        return int(self._table[pa])
+
+    def inverse(self, da: int) -> Optional[int]:
+        return int(self._inverse[da])
+
+    def map_many(self, pas: np.ndarray) -> np.ndarray:
+        return self._table[np.asarray(pas, dtype=np.int64)]
+
+    # ----------------------------------------------------------- bookkeeping
+
+    def record_write(self, da: int) -> None:
+        """Account one software write landing on *da* (controller hook)."""
+        self.block_writes[da] += 1
+        self.pa_writes[self._inverse[da]] += 1
+
+    def _pick_swap(self) -> Optional[tuple]:
+        hot_pa = int(self.pa_writes.argmax())
+        if self.pa_writes[hot_pa] == 0:
+            return None
+        hot_da = int(self._table[hot_pa])
+        # Coldest block by cumulative wear, excluding the hot block itself.
+        order = np.argsort(self.block_writes, kind="stable")
+        cold_da = int(order[0]) if order[0] != hot_da else int(order[1])
+        if self.block_writes[cold_da] >= self.block_writes[hot_da]:
+            return None  # the hot data already sits on a cold block
+        return hot_da, cold_da
+
+    def _commit_swap(self, da_a: int, da_b: int) -> List[int]:
+        pa_a = int(self._inverse[da_a])
+        pa_b = int(self._inverse[da_b])
+        self._table[pa_a], self._table[pa_b] = da_b, da_a
+        self._inverse[da_a], self._inverse[da_b] = pa_b, pa_a
+        # Decay the heat so stale history does not pin the pick forever.
+        self.pa_writes[pa_a] //= 2
+        self.pa_writes[pa_b] //= 2
+        self.swaps += 1
+        return [pa_a, pa_b]
+
+    # ------------------------------------------------------------- migration
+
+    def tick(self, port: MigrationPort, pa: Optional[int] = None) -> List[int]:
+        if self.frozen:
+            return []
+        self.write_count += 1
+        if self.write_count % self.swap_interval or not port.can_start_migration():
+            return []
+        pick = self._pick_swap()
+        if pick is None:
+            return []
+        da_a, da_b = pick
+        tag_a = port.read_migration(da_a)
+        tag_b = port.read_migration(da_b)
+        changed = self._commit_swap(da_a, da_b)
+        pa_a, pa_b = changed
+        # pa_a owned da_a's data and now maps to da_b, and vice versa.
+        port.write_migration_pa(pa_a, tag_a)
+        port.write_migration_pa(pa_b, tag_b)
+        return changed
+
+    def schedule_due(self, total_software_writes: int) -> int:
+        return max(0, total_software_writes // self.swap_interval - self.swaps)
+
+    def bulk_migrations(self, moves: int) -> np.ndarray:
+        if self.frozen or moves <= 0:
+            return np.empty((0, 2), dtype=np.int64)
+        rows: List[tuple] = []
+        for _ in range(moves):
+            pick = self._pick_swap()
+            if pick is None:
+                continue
+            da_a, da_b = pick
+            rows.append((da_a, da_b))
+            rows.append((da_b, da_a))
+            self._commit_swap(da_a, da_b)
+        if not rows:
+            return np.empty((0, 2), dtype=np.int64)
+        return np.asarray(rows, dtype=np.int64)

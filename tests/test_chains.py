@@ -1,0 +1,141 @@
+"""Unit tests for chain resolution and reduction (Figures 2-3)."""
+
+import pytest
+
+from repro.config import ReviverConfig
+from repro.errors import ProtocolError
+from repro.reviver import ChainResolver, LinkTable, PageLedger
+
+
+class World:
+    """A toy mapping + failure state the resolver operates against."""
+
+    def __init__(self, blocks: int = 16) -> None:
+        self.mapping = {pa: pa for pa in range(blocks)}  # PA -> DA
+        self.failed = set()
+        ledger = PageLedger(ReviverConfig(), blocks_per_page=8,
+                            block_bytes=64)
+        ledger.claim(0, list(range(8)))
+        ledger.claim(1, list(range(8, 16)))
+        self.links = LinkTable(ledger)
+        self.resolver = ChainResolver(self.links, self.map_fn,
+                                      lambda da: da in self.failed)
+
+    def map_fn(self, pa: int) -> int:
+        return self.mapping[pa]
+
+
+class TestResolve:
+    def test_healthy_block_is_itself(self):
+        world = World()
+        resolution = world.resolver.resolve(5)
+        assert resolution.final_da == 5
+        assert resolution.hops == 0
+        assert not resolution.is_loop
+
+    def test_one_step_chain(self):
+        world = World()
+        world.failed.add(10)
+        world.mapping[2] = 12           # vpa 2 -> shadow 12
+        world.links.link(10, 2)
+        resolution = world.resolver.resolve(10)
+        assert resolution.final_da == 12
+        assert resolution.hops == 1
+        assert resolution.path == (10, 12)
+
+    def test_loop_detected(self):
+        world = World()
+        world.failed.add(10)
+        world.mapping[2] = 10           # vpa maps back to the failed block
+        world.links.link(10, 2)
+        resolution = world.resolver.resolve(10)
+        assert resolution.is_loop
+        assert resolution.final_da is None
+
+    def test_unlinked_failed_raises(self):
+        world = World()
+        world.failed.add(10)
+        with pytest.raises(ProtocolError):
+            world.resolver.resolve(10)
+
+    def test_two_step_chain_walks(self):
+        world = World()
+        world.failed.update({10, 11})
+        world.mapping[2] = 11           # d10 -> vpa2 -> d11
+        world.mapping[3] = 13           # d11 -> vpa3 -> d13 (healthy)
+        world.links.link(10, 2)
+        world.links.link(11, 3)
+        resolution = world.resolver.resolve(10)
+        assert resolution.final_da == 13
+        assert resolution.hops == 2
+
+
+class TestReduce:
+    def test_reduce_flattens_two_step_chain(self):
+        """The Figure 3 switch: after reduce, d10 is one step from the
+        healthy shadow and d11 sits on a PA-DA loop."""
+        world = World()
+        world.failed.update({10, 11})
+        world.mapping[2] = 11
+        world.mapping[3] = 13
+        world.links.link(10, 2)
+        world.links.link(11, 3)
+        resolution = world.resolver.reduce(10)
+        assert resolution.final_da == 13
+        assert resolution.hops == 1
+        # Pointers switched: d10 -> vpa3, d11 -> vpa2 (a loop: map(2)=11).
+        assert world.links.vpa_of(10) == 3
+        assert world.links.vpa_of(11) == 2
+        assert world.resolver.resolve(11).is_loop
+        assert world.resolver.switches == 1
+
+    def test_reduce_healthy_is_noop(self):
+        world = World()
+        resolution = world.resolver.reduce(5)
+        assert resolution.final_da == 5
+        assert world.resolver.switches == 0
+
+    def test_reduce_one_step_is_stable(self):
+        world = World()
+        world.failed.add(10)
+        world.mapping[2] = 12
+        world.links.link(10, 2)
+        world.resolver.reduce(10)
+        assert world.links.vpa_of(10) == 2
+        assert world.resolver.switches == 0
+
+    def test_reduce_three_step_chain(self):
+        world = World()
+        world.failed.update({8, 9, 10})
+        world.mapping[2] = 9    # d8 -> vpa2 -> d9
+        world.mapping[3] = 10   # d9 -> vpa3 -> d10
+        world.mapping[4] = 14   # d10 -> vpa4 -> d14 (healthy)
+        world.links.link(8, 2)
+        world.links.link(9, 3)
+        world.links.link(10, 4)
+        resolution = world.resolver.reduce(8)
+        assert resolution.final_da == 14
+        assert resolution.hops == 1
+        # Both intermediate blocks ended on loops.
+        assert world.resolver.resolve(9).is_loop
+        assert world.resolver.resolve(10).is_loop
+        assert world.resolver.switches == 2
+
+    def test_reduce_stops_at_unlinked_fresh_failure(self):
+        """A chain ending at a not-yet-linked block is left for the
+        in-flight failure handler (transient state)."""
+        world = World()
+        world.failed.update({10, 11})
+        world.mapping[2] = 11
+        world.links.link(10, 2)          # d11 is failed but unlinked
+        resolution = world.resolver.reduce(10)
+        assert resolution.final_da == 11
+        assert world.resolver.switches == 0
+
+    def test_reduce_loop_returns_none(self):
+        world = World()
+        world.failed.add(10)
+        world.mapping[2] = 10
+        world.links.link(10, 2)
+        resolution = world.resolver.reduce(10)
+        assert resolution.is_loop

@@ -1,0 +1,122 @@
+"""Unit tests for the configuration dataclasses."""
+
+import pytest
+
+from repro.config import (
+    CacheConfig,
+    LLSConfig,
+    PCMConfig,
+    ReviverConfig,
+    SecurityRefreshConfig,
+    SimConfig,
+    StartGapConfig,
+)
+from repro.errors import ConfigurationError
+from repro.units import GIB
+
+
+class TestPCMConfig:
+    def test_defaults_are_consistent(self):
+        config = PCMConfig()
+        assert config.blocks_per_page == 64
+        assert config.num_pages * config.blocks_per_page == config.num_blocks
+
+    def test_paper_scale(self):
+        config = PCMConfig.paper_scale()
+        assert config.capacity_bytes == GIB
+        assert config.mean_endurance == 1e8
+        assert config.endurance_cov == 0.2
+
+    def test_scaled_override(self):
+        config = PCMConfig().scaled(num_blocks=1 << 10)
+        assert config.num_blocks == 1 << 10
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(num_blocks=0),
+        dict(num_blocks=100),          # not a whole number of pages
+        dict(mean_endurance=0),
+        dict(endurance_cov=-0.1),
+        dict(endurance_cov=1.0),
+        dict(page_bytes=1000),         # not a multiple of block size
+        dict(cells_per_block=0),
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            PCMConfig(**kwargs)
+
+
+class TestStartGapConfig:
+    def test_paper_default_psi(self):
+        assert StartGapConfig().psi == 100
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(psi=0), dict(randomizer="bogus"), dict(feistel_rounds=0),
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            StartGapConfig(**kwargs)
+
+
+class TestSecurityRefreshConfig:
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ConfigurationError):
+            SecurityRefreshConfig(refresh_interval=0)
+
+
+class TestReviverConfig:
+    def test_paper_pointer_layout(self):
+        # 64-block page, 64 B blocks, 32-bit pointers: 16 pointers per
+        # block -> 4 pointer blocks, 60 shadow slots (Figure 4).
+        config = ReviverConfig()
+        assert config.pointer_section_blocks(64, 64) == 4
+
+    def test_small_page_layout(self):
+        # 8-block page: one pointer block covers the other 7 slots.
+        assert ReviverConfig().pointer_section_blocks(8, 64) == 1
+
+    def test_wide_pointers_use_more_blocks(self):
+        narrow = ReviverConfig(pointer_bits=16).pointer_section_blocks(64, 64)
+        wide = ReviverConfig(pointer_bits=64).pointer_section_blocks(64, 64)
+        assert wide >= narrow
+
+    def test_rejects_bad_pointer_bits(self):
+        with pytest.raises(ConfigurationError):
+            ReviverConfig(pointer_bits=12)
+        with pytest.raises(ConfigurationError):
+            ReviverConfig(pointer_bits=0)
+
+    def test_rejects_zero_replicas(self):
+        with pytest.raises(ConfigurationError):
+            ReviverConfig(bitmap_replicas=0)
+
+
+class TestLLSConfig:
+    def test_rejects_invalid(self):
+        with pytest.raises(ConfigurationError):
+            LLSConfig(chunk_blocks=0)
+        with pytest.raises(ConfigurationError):
+            LLSConfig(num_groups=0)
+
+
+class TestCacheConfig:
+    def test_capacity_must_divide(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(capacity_entries=10, associativity=4)
+
+    def test_valid(self):
+        config = CacheConfig(capacity_entries=16, associativity=4)
+        assert config.capacity_entries // config.associativity == 4
+
+
+class TestSimConfig:
+    def test_defaults(self):
+        config = SimConfig()
+        assert config.dead_fraction == 0.3
+
+    @pytest.mark.parametrize("kwargs", [
+        dict(dead_fraction=0.0), dict(dead_fraction=1.5),
+        dict(max_writes=0), dict(sample_interval=0),
+    ])
+    def test_rejects_invalid(self, kwargs):
+        with pytest.raises(ConfigurationError):
+            SimConfig(**kwargs)

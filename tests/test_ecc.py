@@ -1,0 +1,113 @@
+"""Unit tests for the error-correction substrates (ECP, PAYG, NoECC)."""
+
+import pytest
+
+from repro.ecc import ECP, NoECC, PAYG
+from repro.ecc.ecp import ENTRY_BITS, GROUP_STATUS_BITS
+from repro.ecc.payg import LOCAL_BITS
+from repro.errors import ConfigurationError
+from repro.pcm import EnduranceModel
+
+
+@pytest.fixture
+def endurance() -> EnduranceModel:
+    return EnduranceModel(num_blocks=64, mean=1000, cov=0.2,
+                          max_order=12, seed=9)
+
+
+class TestECP:
+    def test_threshold_is_capacity_plus_one_order(self, endurance):
+        ecp = ECP(endurance, 6)
+        assert (ecp.thresholds == endurance.nth_failure(7)).all()
+
+    def test_never_extends(self, endurance):
+        ecp = ECP(endurance, 6)
+        assert not ecp.try_extend(0)
+
+    def test_paper_metadata_cost(self, endurance):
+        # ECP6: 61 bits per 512-bit group, the figure the paper quotes.
+        assert ECP(endurance, 6).metadata_bits_per_group == 61
+
+    def test_name(self, endurance):
+        assert ECP(endurance, 6).name == "ECP6"
+        assert ECP(endurance, 1).name == "ECP1"
+
+    def test_entry_cost_constants(self):
+        assert ENTRY_BITS == 10
+        assert GROUP_STATUS_BITS == 1
+
+    def test_rejects_capacity_beyond_orders(self, endurance):
+        with pytest.raises(ConfigurationError):
+            ECP(endurance, endurance.max_order)
+
+    def test_rejects_negative_capacity(self, endurance):
+        with pytest.raises(ConfigurationError):
+            ECP(endurance, -1)
+
+    def test_stronger_capacity_dominates(self, endurance):
+        weak = ECP(endurance, 1)
+        strong = ECP(endurance, 6)
+        assert (strong.thresholds >= weak.thresholds).all()
+
+
+class TestPAYG:
+    def test_starts_at_local_capacity(self, endurance):
+        payg = PAYG(endurance)
+        assert (payg.thresholds == endurance.nth_failure(2)).all()
+        assert payg.capacity_of(0) == 1
+
+    def test_pool_sized_by_budget(self, endurance):
+        payg = PAYG(endurance, avg_bits_per_group=19.5)
+        expected_bits = (19.5 - LOCAL_BITS) * endurance.num_blocks
+        assert payg.pool_entries == int(expected_bits // 21)
+
+    def test_extend_consumes_pool_and_raises_threshold(self, endurance):
+        payg = PAYG(endurance)
+        before_pool = payg.pool_entries
+        before_threshold = payg.threshold(0)
+        assert payg.try_extend(0)
+        assert payg.pool_entries == before_pool - 1
+        assert payg.threshold(0) >= before_threshold
+        assert payg.capacity_of(0) == 2
+
+    def test_extend_fails_when_pool_empty(self, endurance):
+        payg = PAYG(endurance)
+        payg.pool_entries = 0
+        assert not payg.try_extend(0)
+
+    def test_extend_fails_past_materialized_orders(self, endurance):
+        payg = PAYG(endurance, avg_bits_per_group=500.0)
+        block = 0
+        extensions = 0
+        while payg.try_extend(block):
+            extensions += 1
+        # Local capacity 1 + extensions must stop before max_order - 1.
+        assert 1 + extensions == endurance.max_order - 1
+
+    def test_pool_used_fraction(self, endurance):
+        payg = PAYG(endurance)
+        assert payg.pool_used_fraction == 0.0
+        payg.try_extend(0)
+        assert 0.0 < payg.pool_used_fraction <= 1.0
+
+    def test_rejects_budget_below_local_cost(self, endurance):
+        with pytest.raises(ConfigurationError):
+            PAYG(endurance, avg_bits_per_group=5.0)
+
+    def test_metadata_budget_is_reported(self, endurance):
+        assert PAYG(endurance).metadata_bits_per_group == 19.5
+
+
+class TestNoECC:
+    def test_threshold_is_first_death(self, endurance):
+        none = NoECC(endurance)
+        assert (none.thresholds == endurance.nth_failure(1)).all()
+
+    def test_never_extends(self, endurance):
+        assert not NoECC(endurance).try_extend(0)
+
+    def test_zero_metadata(self, endurance):
+        assert NoECC(endurance).metadata_bits_per_group == 0.0
+
+    def test_describe_mentions_name(self, endurance):
+        assert "NoECC" in NoECC(endurance).describe()

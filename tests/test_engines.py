@@ -1,0 +1,188 @@
+"""Tests for both simulation engines, including cross-engine agreement."""
+
+import numpy as np
+import pytest
+
+from repro.config import StartGapConfig
+from repro.ecc import ECP, FreePRegion
+from repro.pcm import AddressGeometry, EnduranceModel, PCMChip
+from repro.sim import ExactEngine, FastConfig, FastEngine
+from repro.traces import hotspot_distribution
+from repro.wl import NoWL, StartGap
+
+from .conftest import make_reviver_system
+
+
+def make_fast(recovery: str = "reviver", num_blocks: int = 512,
+              mean: float = 300.0, cov_target: float = 6.0,
+              psi: int = 10, reserve: float = 0.1, seed: int = 3,
+              dead: float = 0.3, batch: int = 2000,
+              stop_on_capacity: bool = True):
+    geometry = AddressGeometry(num_blocks=num_blocks)
+    endurance = EnduranceModel(num_blocks=num_blocks, mean=mean, cov=0.2,
+                               max_order=10, seed=seed)
+    chip = PCMChip(geometry, ECP(endurance, 1))
+    trace = hotspot_distribution(num_blocks, cov_target, seed=seed)
+    config = FastConfig(recovery=recovery, freep_reserve=reserve,
+                        dead_fraction=dead, batch_writes=batch, seed=seed,
+                        stop_on_capacity=stop_on_capacity)
+    if recovery == "freep":
+        region = FreePRegion(num_blocks, reserve)
+        wl = StartGap(region.working_blocks,
+                      config=StartGapConfig(psi=psi))
+        return FastEngine(chip, wl, trace, config, region=region)
+    wl = StartGap(num_blocks, config=StartGapConfig(psi=psi))
+    return FastEngine(chip, wl, trace, config)
+
+
+class TestExactEngine:
+    def test_runs_to_dead_fraction(self):
+        controller, chip, _, _ = make_reviver_system(
+            mean=150, check_invariants=False)
+        trace = hotspot_distribution(controller.ospool.virtual_blocks,
+                                     3.0, seed=4)
+        engine = ExactEngine(controller, trace, dead_fraction=0.2,
+                             sample_interval=500)
+        summary = engine.run(max_writes=50_000)
+        assert summary.lifetime_writes > 0
+        assert engine.stopped_reason in ("dead-fraction", "max-writes") \
+            or engine.stopped_reason.startswith("exhausted")
+        assert len(engine.series.points) >= 2
+
+    def test_verify_mode_catches_nothing_on_healthy_run(self):
+        controller, _, _, _ = make_reviver_system(
+            mean=5_000, check_invariants=False)
+        trace = hotspot_distribution(controller.ospool.virtual_blocks,
+                                     3.0, seed=4)
+        engine = ExactEngine(controller, trace, verify=True,
+                             sample_interval=200)
+        engine.run(max_writes=1_000)
+        engine.verify_all()  # raises on corruption
+
+    def test_verify_mode_through_failures(self):
+        controller, chip, _, _ = make_reviver_system(
+            mean=200, check_invariants=False, cache=True)
+        trace = hotspot_distribution(controller.ospool.virtual_blocks,
+                                     3.0, seed=4)
+        engine = ExactEngine(controller, trace, verify=True,
+                             sample_interval=1_000, dead_fraction=0.25)
+        engine.run(max_writes=20_000)
+        assert chip.failed_count > 0
+        engine.verify_all()
+
+    def test_reads_interleaved(self):
+        controller, _, _, _ = make_reviver_system(
+            mean=5_000, check_invariants=False)
+        trace = hotspot_distribution(controller.ospool.virtual_blocks,
+                                     3.0, seed=4)
+        engine = ExactEngine(controller, trace, read_fraction=2.0,
+                             sample_interval=200)
+        engine.run(max_writes=500)
+        assert controller.stats.reads == pytest.approx(1_000, abs=5)
+
+    def test_rejects_oversized_trace(self):
+        controller, _, _, _ = make_reviver_system()
+        big = hotspot_distribution(10_000, 3.0, seed=4)
+        with pytest.raises(ValueError):
+            ExactEngine(controller, big)
+
+
+class TestFastEngine:
+    def test_reviver_outlives_baseline(self):
+        revived = make_fast("reviver").run()
+        frozen = make_fast("none").run()
+        assert revived.lifetime_writes > frozen.lifetime_writes
+
+    def test_batch_size_invariance(self):
+        small = make_fast("reviver", batch=1_000).run()
+        large = make_fast("reviver", batch=8_000).run()
+        ratio = large.lifetime_writes / small.lifetime_writes
+        assert 0.85 < ratio < 1.15
+
+    def test_usable_monotone_nonincreasing(self):
+        engine = make_fast("reviver")
+        engine.run()
+        usable = [p.usable for p in engine.series.points]
+        assert all(b <= a + 1e-12 for a, b in zip(usable, usable[1:]))
+
+    def test_survival_monotone_nonincreasing(self):
+        engine = make_fast("none")
+        engine.run()
+        survival = [p.survival for p in engine.series.points]
+        assert all(b <= a + 1e-12 for a, b in zip(survival, survival[1:]))
+
+    def test_freep_cliff_after_exhaustion(self):
+        engine = make_fast("freep", reserve=0.05)
+        engine.run()
+        assert engine.region.exhausted or not engine.wl.frozen
+
+    def test_freep_reserve_excluded_from_usable(self):
+        engine = make_fast("freep", reserve=0.10)
+        assert engine.series.points == []
+        engine.run()
+        assert engine.series.points[0].usable <= 0.91
+
+    def test_reviver_page_accounting(self):
+        engine = make_fast("reviver")
+        engine.run()
+        stats = engine.stats()
+        # Every linked block consumed a shadow slot from an acquired page.
+        slots = engine.ledger.shadow_slots_per_page * stats["pages_acquired"]
+        assert stats["linked_blocks"] <= slots
+
+    def test_stop_on_capacity_flag(self):
+        capped = make_fast("none", stop_on_capacity=True).run()
+        uncapped_engine = make_fast("none", stop_on_capacity=False)
+        uncapped = uncapped_engine.run()
+        assert uncapped.lifetime_writes >= capped.lifetime_writes
+
+    def test_max_writes_respected(self):
+        engine = make_fast("reviver", mean=100_000)
+        engine.config.max_writes = 6_000
+        summary = engine.run()
+        assert summary.lifetime_writes <= 6_000
+        assert engine.stopped_reason == "max-writes"
+
+    def test_nowl_runs(self):
+        geometry = AddressGeometry(num_blocks=512)
+        endurance = EnduranceModel(num_blocks=512, mean=300, cov=0.2,
+                                   max_order=10, seed=3)
+        chip = PCMChip(geometry, ECP(endurance, 1))
+        trace = hotspot_distribution(512, 6.0, seed=3)
+        engine = FastEngine(chip, NoWL(512), trace,
+                            FastConfig(recovery="none", batch_writes=2000,
+                                       seed=3))
+        summary = engine.run()
+        assert summary.lifetime_writes > 0
+
+
+class TestEngineAgreement:
+    """The fast engine must reproduce the exact engine's lifetime shape."""
+
+    def test_reviver_lifetimes_agree_within_tolerance(self):
+        # Exact path.
+        controller, chip, _, _ = make_reviver_system(
+            num_blocks=128, mean=200, utilization=1.0,
+            check_invariants=False)
+        trace = hotspot_distribution(controller.ospool.virtual_blocks,
+                                     4.0, seed=6)
+        exact = ExactEngine(controller, trace, dead_fraction=0.25,
+                            sample_interval=500)
+        exact_summary = exact.run(max_writes=200_000)
+
+        # Fast path over statistically identical hardware/workload.
+        geometry = AddressGeometry(num_blocks=128, block_bytes=64,
+                                   page_bytes=512)
+        endurance = EnduranceModel(num_blocks=128, mean=200, cov=0.25,
+                                   max_order=8, seed=11)
+        chip2 = PCMChip(geometry, ECP(endurance, 1))
+        wl2 = StartGap(128)
+        trace2 = hotspot_distribution(127, 4.0, seed=6)
+        fast = FastEngine(chip2, wl2, trace2,
+                          FastConfig(recovery="reviver", batch_writes=500,
+                                     blocks_per_page=8, dead_fraction=0.25,
+                                     seed=6))
+        fast_summary = fast.run()
+        ratio = (fast_summary.lifetime_writes
+                 / max(exact_summary.lifetime_writes, 1))
+        assert 0.4 < ratio < 2.5, (exact_summary, fast_summary)

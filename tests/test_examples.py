@@ -1,0 +1,35 @@
+"""Smoke-run every example script: the documented entry points must work.
+
+Each example is executed as a subprocess exactly as the README instructs;
+the scripts carry their own assertions (data integrity, reboot agreement),
+so a zero exit status means the narrative they print is actually true.
+"""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
+
+
+def test_every_example_is_covered():
+    assert EXAMPLES == [
+        "attack_resilience.py",
+        "freep_vs_reviver.py",
+        "lifetime_study.py",
+        "quickstart.py",
+        "reboot_recovery.py",
+        "wear_quality.py",
+    ]
+
+
+@pytest.mark.parametrize("name", EXAMPLES)
+def test_example_runs_clean(name):
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES_DIR / name)],
+        capture_output=True, text=True, timeout=300)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert result.stdout.strip(), "examples must narrate their results"

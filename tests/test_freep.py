@@ -1,0 +1,77 @@
+"""Unit tests for the adapted FREE-p remap region."""
+
+import pytest
+
+from repro.ecc import FreePRegion
+from repro.errors import CapacityExhaustedError, ConfigurationError
+
+
+class TestConstruction:
+    def test_partitions_space(self):
+        region = FreePRegion(1000, 0.10)
+        assert region.reserved_blocks == 100
+        assert region.working_blocks == 900
+        assert region.region_base == 900
+        assert region.slots_total == 100
+        assert region.slots_remaining == 100
+
+    def test_zero_reserve(self):
+        region = FreePRegion(1000, 0.0)
+        assert region.exhausted
+        assert region.working_blocks == 1000
+
+    def test_rejects_bad_fraction(self):
+        with pytest.raises(ConfigurationError):
+            FreePRegion(1000, 1.0)
+        with pytest.raises(ConfigurationError):
+            FreePRegion(1000, -0.1)
+
+    def test_is_slot(self):
+        region = FreePRegion(1000, 0.10)
+        assert region.is_slot(900)
+        assert region.is_slot(999)
+        assert not region.is_slot(899)
+
+
+class TestLinking:
+    def test_link_allocates_sequentially(self):
+        region = FreePRegion(1000, 0.10)
+        assert region.link(5) == 900
+        assert region.link(7) == 901
+        assert region.slots_remaining == 98
+
+    def test_resolve_follows_link(self):
+        region = FreePRegion(1000, 0.10)
+        slot = region.link(5)
+        assert region.resolve(5) == slot
+        assert region.resolve(6) == 6  # unlinked passes through
+
+    def test_is_linked(self):
+        region = FreePRegion(1000, 0.10)
+        region.link(5)
+        assert region.is_linked(5)
+        assert not region.is_linked(6)
+
+    def test_slot_failure_relinks_origin(self):
+        """A dying slot hands its duty to a fresh slot, one hop preserved."""
+        region = FreePRegion(1000, 0.10)
+        slot1 = region.link(5)
+        slot2 = region.link(slot1)  # slot1 itself wore out
+        assert slot2 != slot1
+        assert region.resolve(5) == slot2
+        assert region.serving(slot2) == 5
+        assert region.serving(slot1) is None
+
+    def test_exhaustion_raises(self):
+        region = FreePRegion(100, 0.02)  # 2 slots
+        region.link(0)
+        region.link(1)
+        assert region.exhausted
+        with pytest.raises(CapacityExhaustedError):
+            region.link(2)
+
+    def test_serving_reverse_map(self):
+        region = FreePRegion(1000, 0.10)
+        slot = region.link(42)
+        assert region.serving(slot) == 42
+        assert region.serving(901) is None

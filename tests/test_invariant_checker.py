@@ -1,0 +1,124 @@
+"""The invariant checker must *catch* violations, not just pass clean state.
+
+Each test constructs a corrupted reviver world and asserts the matching
+theorem checker raises — the checkers are themselves safety-critical test
+infrastructure, so they get negative tests.
+"""
+
+import pytest
+
+from repro.config import ReviverConfig
+from repro.errors import ProtocolError
+from repro.reviver import InvariantChecker, LinkTable, PageLedger, SparePool
+
+
+class World:
+    """Hand-editable reviver state for violation construction."""
+
+    def __init__(self, blocks: int = 32) -> None:
+        self.mapping = {pa: pa for pa in range(blocks)}
+        self.failed = set()
+        ledger = PageLedger(ReviverConfig(), blocks_per_page=8,
+                            block_bytes=64)
+        ledger.claim(0, list(range(8)))
+        self.links = LinkTable(ledger)
+        self.spares = SparePool()
+        self.software = list(range(8, 24))
+        self.checker = InvariantChecker(
+            self.links, self.spares,
+            map_fn=lambda pa: self.mapping[pa],
+            is_failed=lambda da: da in self.failed,
+            software_pas=lambda: self.software,
+            failed_blocks=lambda: sorted(self.failed))
+
+
+class TestCleanState:
+    def test_empty_world_passes(self):
+        World().checker.check_all()
+
+    def test_one_healthy_link_passes(self):
+        world = World()
+        world.failed.add(10)
+        world.mapping[2] = 25          # vpa 2 -> healthy shadow 25
+        world.links.link(10, 2)
+        world.checker.check_all()
+
+    def test_loop_passes_when_unreachable(self):
+        world = World()
+        world.failed.add(10)
+        world.mapping[2] = 10          # PA-DA loop (bijection kept by swap)
+        world.mapping[10] = 2
+        world.links.link(10, 2)
+        world.checker.check_all()
+
+
+class TestViolations:
+    def test_unlinked_failed_block_caught(self):
+        world = World()
+        world.failed.add(10)
+        with pytest.raises(ProtocolError, match="no virtual shadow"):
+            world.checker.check_link_consistency()
+
+    def test_two_step_chain_caught(self):
+        world = World()
+        world.failed.update({10, 11})
+        world.mapping[2] = 11          # d10 -> vpa2 -> failed d11
+        world.mapping[3] = 25
+        world.links.link(10, 2)
+        world.links.link(11, 3)
+        with pytest.raises(ProtocolError, match="two-step chain"):
+            world.checker.check_chain_lengths()
+
+    def test_accessible_failed_without_healthy_shadow_caught(self):
+        world = World()
+        world.failed.update({10, 25})
+        world.mapping[2] = 25          # shadow itself failed
+        world.mapping[5] = 25
+        world.links.link(10, 2)
+        world.links.link(25, 5)
+        # PA 10 is software accessible and maps (identity) onto d10.
+        with pytest.raises(ProtocolError):
+            world.checker.check_theorem1()
+
+    def test_spare_mapping_to_loop_caught(self):
+        world = World()
+        world.failed.add(10)
+        world.mapping[2] = 10          # d10 on a loop with vpa 2
+        world.links.link(10, 2)
+        # Corrupt: a spare PA also claims to map onto the loop block.
+        world.spares.add([3])
+        world.mapping[3] = 10
+        with pytest.raises(ProtocolError, match="loop block"):
+            world.checker.check_theorem2()
+
+    def test_spare_indirectly_reaching_failed_caught(self):
+        world = World()
+        world.failed.update({10, 11})
+        world.mapping[2] = 11          # d10's "shadow" is failed d11
+        world.mapping[4] = 25
+        world.links.link(10, 2)
+        world.links.link(11, 4)
+        world.spares.add([3])
+        world.mapping[3] = 10          # spare reaches d10 -> d11 (failed)
+        with pytest.raises(ProtocolError, match="indirectly"):
+            world.checker.check_theorem2()
+
+    def test_loop_reachable_through_spare_caught(self):
+        world = World()
+        world.failed.add(10)
+        world.mapping[2] = 10
+        world.links.link(10, 2)
+        # Corrupt the spare pool so the loop's own VPA is marked spare.
+        world.spares.add([2])
+        with pytest.raises(ProtocolError, match="reachable through spare"):
+            world.checker.check_theorem3()
+
+    def test_inverse_pointer_mismatch_caught(self):
+        world = World()
+        world.failed.add(10)
+        world.mapping[2] = 25
+        world.links.link(10, 2)
+        # Corrupt the inverse direction behind the table's back.
+        world.links._inverse[2] = 99
+        with pytest.raises(ProtocolError, match="inverse pointer"):
+            world.checker.check_link_consistency()

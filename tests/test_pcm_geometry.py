@@ -1,0 +1,71 @@
+"""Unit tests for address geometry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AddressError
+from repro.pcm import AddressGeometry
+
+
+@pytest.fixture
+def geometry() -> AddressGeometry:
+    return AddressGeometry(num_blocks=256, block_bytes=64, page_bytes=512)
+
+
+class TestConstruction:
+    def test_derived_quantities(self, geometry):
+        assert geometry.blocks_per_page == 8
+        assert geometry.num_pages == 32
+
+    def test_rejects_partial_pages(self):
+        with pytest.raises(AddressError):
+            AddressGeometry(num_blocks=100, block_bytes=64, page_bytes=512)
+
+    def test_rejects_empty(self):
+        with pytest.raises(AddressError):
+            AddressGeometry(num_blocks=0)
+
+
+class TestScalarConversions:
+    def test_page_of(self, geometry):
+        assert geometry.page_of(0) == 0
+        assert geometry.page_of(7) == 0
+        assert geometry.page_of(8) == 1
+        assert geometry.page_of(255) == 31
+
+    def test_offset_in_page(self, geometry):
+        assert geometry.offset_in_page(13) == 5
+
+    def test_split_join_round_trip(self, geometry):
+        for pa in (0, 1, 8, 100, 255):
+            page, offset = geometry.split(pa)
+            assert geometry.join(page, offset) == pa
+
+    def test_page_range(self, geometry):
+        assert geometry.page_range(2) == (16, 24)
+
+    def test_pas_of_page(self, geometry):
+        assert list(geometry.pas_of_page(3)) == list(range(24, 32))
+
+    def test_bounds_checks(self, geometry):
+        with pytest.raises(AddressError):
+            geometry.check_block(256)
+        with pytest.raises(AddressError):
+            geometry.check_block(-1)
+        with pytest.raises(AddressError):
+            geometry.check_page(32)
+        with pytest.raises(AddressError):
+            geometry.join(0, 8)
+
+
+class TestVectorConversions:
+    def test_pages_of_matches_scalar(self, geometry):
+        pas = np.arange(256)
+        pages = geometry.pages_of(pas)
+        assert all(pages[pa] == geometry.page_of(int(pa)) for pa in pas)
+
+    def test_offsets_of_matches_scalar(self, geometry):
+        pas = np.arange(256)
+        offsets = geometry.offsets_of(pas)
+        assert all(offsets[pa] == geometry.offset_in_page(int(pa))
+                   for pa in pas)

@@ -1,0 +1,111 @@
+"""Tests for the 7-modular-redundancy pointer code over stuck-at blocks."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ecc.pointer_codes import (
+    CODEWORD_CELLS,
+    REPLICAS,
+    StuckAtBlock,
+    decode_pointer,
+    encode_pointer,
+    max_tolerated_faults_per_group,
+    pointer_survives,
+)
+from repro.errors import ConfigurationError
+
+
+class TestStuckAtBlock:
+    def test_writes_take_effect_on_healthy_cells(self):
+        block = StuckAtBlock(16)
+        block.write_bits(0, np.array([1, 0, 1, 1], dtype=np.uint8))
+        assert block.read_bits(0, 4).tolist() == [1, 0, 1, 1]
+
+    def test_stuck_cells_ignore_writes(self):
+        block = StuckAtBlock(16, stuck={2: 0})
+        block.write_bits(0, np.ones(4, dtype=np.uint8))
+        assert block.read_bits(0, 4).tolist() == [1, 1, 0, 1]
+
+    def test_stuck_at_one(self):
+        block = StuckAtBlock(8, stuck={0: 1})
+        block.write_bits(0, np.zeros(8, dtype=np.uint8))
+        assert block.read_bits(0, 1).tolist() == [1]
+
+    def test_random_faults_count(self):
+        block = StuckAtBlock.with_random_faults(512, faults=10, seed=1)
+        assert block.fault_count == 10
+
+    def test_bounds(self):
+        block = StuckAtBlock(8)
+        with pytest.raises(ConfigurationError):
+            block.write_bits(6, np.zeros(4, dtype=np.uint8))
+        with pytest.raises(ConfigurationError):
+            block.read_bits(-1, 2)
+        with pytest.raises(ConfigurationError):
+            block.stick(8, 1)
+
+
+class TestPointerCode:
+    def test_round_trip_healthy_block(self):
+        block = StuckAtBlock(512)
+        encode_pointer(block, 0xDEADBEEF)
+        assert decode_pointer(block) == 0xDEADBEEF
+
+    def test_survives_three_faults_per_group(self):
+        block = StuckAtBlock(512)
+        # Wedge 3 cells of bit 0's group against the written value.
+        for cell in range(3):
+            block.stick(cell, 0)
+        encode_pointer(block, 0xFFFFFFFF)
+        assert decode_pointer(block) == 0xFFFFFFFF
+
+    def test_fails_at_four_adverse_faults_in_one_group(self):
+        block = StuckAtBlock(512)
+        for cell in range(4):
+            block.stick(cell, 0)
+        encode_pointer(block, 0x1)
+        assert decode_pointer(block) == 0x0  # bit 0 lost: the code's limit
+
+    def test_tolerance_constant(self):
+        assert max_tolerated_faults_per_group() == 3
+        assert CODEWORD_CELLS == 224  # 32 bits x 7 cells fit a 512b block
+
+    def test_survives_ecp6_scale_damage(self):
+        """A block that just exceeded ECP6 has ~7 dead cells out of 512:
+        random placements virtually never defeat the code."""
+        survived = 0
+        for seed in range(50):
+            block = StuckAtBlock.with_random_faults(512, faults=7, seed=seed)
+            if pointer_survives(block, 0xCAFE0000 + seed):
+                survived += 1
+        assert survived >= 48
+
+    @given(pointer=st.integers(min_value=0, max_value=2**32 - 1),
+           seed=st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_random_pointers_survive_scattered_damage(self, pointer, seed):
+        """Property: <=3 random faults can never defeat the code (they
+        cannot exceed 3 in any group)."""
+        block = StuckAtBlock.with_random_faults(512, faults=3, seed=seed)
+        assert pointer_survives(block, pointer)
+
+    def test_rejects_oversized_pointer(self):
+        with pytest.raises(ConfigurationError):
+            encode_pointer(StuckAtBlock(512), 1 << 32)
+
+    def test_rejects_small_block(self):
+        with pytest.raises(ConfigurationError):
+            encode_pointer(StuckAtBlock(64), 1)
+
+    def test_adversarial_group_analysis(self):
+        """Exhaustive per-group check: for every fault count 0..7, the
+        decoded bit flips exactly when adverse faults reach 4."""
+        for adverse in range(REPLICAS + 1):
+            block = StuckAtBlock(512)
+            for cell in range(adverse):
+                block.stick(cell, 0)
+            encode_pointer(block, 0x1)
+            expected_bit = 1 if adverse <= 3 else 0
+            assert (decode_pointer(block) & 1) == expected_bit, adverse

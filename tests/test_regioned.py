@@ -1,0 +1,136 @@
+"""Unit and integration tests for RegionedStartGap."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.config import ReviverConfig, StartGapConfig
+from repro.errors import CapacityExhaustedError, ConfigurationError
+from repro.mc import ReviverController
+from repro.osmodel import PagePool
+from repro.wl import NullPort, RegionedStartGap
+
+from .conftest import assert_data_consistent, make_chip
+
+
+def make_regioned(device: int = 64, regions: int = 4, psi: int = 5):
+    return RegionedStartGap(device, num_regions=regions,
+                            config=StartGapConfig(psi=psi))
+
+
+class TestMapping:
+    def test_logical_capacity(self):
+        scheme = make_regioned(64, 4)
+        # Each region sacrifices one gap line.
+        assert scheme.logical_blocks == 4 * 15
+
+    def test_bijection_initial_and_after_ticks(self):
+        scheme = make_regioned()
+        scheme.check_bijection()
+        port = NullPort()
+        for step in range(500):
+            scheme.tick(port, pa=step % scheme.logical_blocks)
+        scheme.check_bijection()
+
+    def test_mapping_stays_within_region(self):
+        scheme = make_regioned(64, 4)
+        port = NullPort()
+        for step in range(300):
+            scheme.tick(port, pa=step % scheme.logical_blocks)
+        for pa in range(scheme.logical_blocks):
+            region = scheme.region_of_pa(pa)
+            da = scheme.map(pa)
+            assert da // scheme.region_device == region
+
+    def test_map_many_matches_scalar(self):
+        scheme = make_regioned()
+        port = NullPort()
+        for step in range(177):
+            scheme.tick(port, pa=step % scheme.logical_blocks)
+        pas = np.arange(scheme.logical_blocks)
+        assert (scheme.map_many(pas)
+                == np.array([scheme.map(int(p)) for p in pas])).all()
+
+    def test_gap_lines_unmapped(self):
+        scheme = make_regioned(64, 4)
+        for region in range(4):
+            gap_da = region * 16 + scheme.regions[region].gap
+            assert scheme.inverse(gap_da) is None
+
+    def test_rejects_bad_partition(self):
+        with pytest.raises(ConfigurationError):
+            RegionedStartGap(65, 4)
+        with pytest.raises(ConfigurationError):
+            RegionedStartGap(64, 0)
+
+
+class TestPerRegionSchedule:
+    def test_writes_charged_to_their_region(self):
+        scheme = make_regioned(64, 4, psi=5)
+        port = NullPort()
+        hot_pa = 0  # region 0
+        for _ in range(50):
+            scheme.tick(port, pa=hot_pa)
+        assert scheme.regions[0].gap_moves == 10
+        assert all(scheme.regions[r].gap_moves == 0 for r in (1, 2, 3))
+
+    def test_round_robin_without_pa(self):
+        scheme = make_regioned(64, 4, psi=5)
+        port = NullPort()
+        for _ in range(100):
+            scheme.tick(port)
+        moves = [r.gap_moves for r in scheme.regions]
+        assert sum(moves) == 20
+        assert max(moves) - min(moves) <= 1
+
+    def test_changed_pas_are_global(self):
+        scheme = make_regioned(64, 4, psi=1)
+        port = NullPort()
+        hot_pa = scheme.logical_blocks - 1  # last region
+        changed = scheme.tick(port, pa=hot_pa)
+        assert changed
+        assert all(scheme.region_of_pa(pa) == 3 for pa in changed)
+
+    def test_freeze_freezes_all_regions(self):
+        scheme = make_regioned()
+        scheme.freeze()
+        assert all(region.frozen for region in scheme.regions)
+        assert scheme.tick(NullPort(), pa=0) == []
+
+    def test_bulk_migrations_rows_in_region_bounds(self):
+        scheme = make_regioned(64, 4, psi=5)
+        port = NullPort()
+        for _ in range(40):
+            scheme.tick(port, pa=0)
+        rows = scheme.bulk_migrations(4)
+        for src, dst in rows:
+            assert src // 16 == dst // 16  # moves never cross regions
+
+
+class TestWithReviver:
+    def test_full_stack_data_consistency(self):
+        """The framework claim again: a composite scheme needs no changes."""
+        chip = make_chip(num_blocks=128, mean=400, seed=11)
+        scheme = RegionedStartGap(128, num_regions=4,
+                                  config=StartGapConfig(psi=20))
+        ospool = PagePool(scheme.logical_blocks, blocks_per_page=8,
+                          utilization=0.8, seed=5)
+        controller = ReviverController(
+            chip, scheme, ospool,
+            reviver_config=ReviverConfig(check_invariants=True),
+            copy_on_retire=True)
+        rng = random.Random(7)
+        expected = {}
+        space = ospool.virtual_blocks
+        try:
+            step = 0
+            while chip.failed_fraction() < 0.3 and step < 30_000:
+                vblock = rng.randrange(space)
+                controller.service_write(vblock, tag=step)
+                expected[vblock] = step
+                step += 1
+        except CapacityExhaustedError:
+            pass
+        assert chip.failed_fraction() > 0.05
+        assert_data_consistent(controller, expected)

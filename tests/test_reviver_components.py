@@ -1,0 +1,195 @@
+"""Unit tests for WL-Reviver's components: spare pool, page ledger,
+link table, and retired-page bitmap."""
+
+import pytest
+
+from repro.config import ReviverConfig
+from repro.errors import AddressError, CapacityExhaustedError, ProtocolError
+from repro.reviver import LinkTable, PageLedger, RetiredPageBitmap, SparePool
+
+
+class TestSparePool:
+    def test_fifo_order(self):
+        pool = SparePool()
+        pool.add([10, 11, 12])
+        assert pool.take() == 10
+        assert pool.take() == 11
+        assert pool.available == 1
+
+    def test_take_specific(self):
+        pool = SparePool()
+        pool.add([10, 11, 12])
+        assert pool.take_specific(11) == 11
+        assert pool.take() == 10
+        assert pool.take() == 12
+
+    def test_empty_raises(self):
+        with pytest.raises(CapacityExhaustedError):
+            SparePool().take()
+
+    def test_take_specific_missing_raises(self):
+        pool = SparePool()
+        pool.add([10])
+        with pytest.raises(CapacityExhaustedError):
+            pool.take_specific(99)
+
+    def test_membership_and_counters(self):
+        pool = SparePool()
+        pool.add([5, 6])
+        assert 5 in pool and 7 not in pool
+        pool.take()
+        assert pool.total_acquired == 2
+        assert pool.total_consumed == 1
+        assert pool.peek_all() == [6]
+
+
+def make_ledger(bpp: int = 8) -> PageLedger:
+    return PageLedger(ReviverConfig(), blocks_per_page=bpp, block_bytes=64)
+
+
+class TestPageLedger:
+    def test_paper_split_64(self):
+        ledger = make_ledger(bpp=64)
+        page = ledger.claim(0, list(range(64)))
+        # Figure 4: 60 shadow slots, 4 pointer PAs.
+        assert len(page.shadow_pas) == 60
+        assert len(page.pointer_pas) == 4
+
+    def test_small_page_split(self):
+        ledger = make_ledger(bpp=8)
+        page = ledger.claim(0, list(range(8)))
+        assert page.shadow_pas == tuple(range(7))
+        assert page.pointer_pas == (7,)
+
+    def test_pointer_home_assignment(self):
+        ledger = make_ledger(bpp=64)
+        page = ledger.claim(0, list(range(64)))
+        # 16 pointers per block: slots 0-15 live in the first pointer PA.
+        assert ledger.pointer_home(page.shadow_pas[0]) == page.pointer_pas[0]
+        assert ledger.pointer_home(page.shadow_pas[15]) == page.pointer_pas[0]
+        assert ledger.pointer_home(page.shadow_pas[16]) == page.pointer_pas[1]
+        assert ledger.pointer_home(page.shadow_pas[59]) == page.pointer_pas[3]
+
+    def test_claim_validates_size(self):
+        with pytest.raises(ProtocolError):
+            make_ledger(bpp=8).claim(0, list(range(5)))
+
+    def test_unknown_vpa_rejected(self):
+        ledger = make_ledger()
+        with pytest.raises(ProtocolError):
+            ledger.pointer_home(1234)
+
+    def test_bookkeeping(self):
+        ledger = make_ledger(bpp=8)
+        ledger.claim(2, list(range(16, 24)))
+        assert ledger.pages_acquired == 1
+        assert ledger.shadow_slots_per_page == 7
+        assert ledger.is_shadow_slot(16)
+        assert not ledger.is_shadow_slot(23)  # pointer PA, not a slot
+        assert ledger.owner_page(16) == 2
+        assert ledger.owner_page(99) is None
+
+
+class TestLinkTable:
+    def make(self):
+        ledger = make_ledger(bpp=8)
+        ledger.claim(0, list(range(8)))
+        return LinkTable(ledger)
+
+    def test_link_both_directions(self):
+        links = self.make()
+        links.link(42, 3)
+        assert links.vpa_of(42) == 3
+        assert links.failed_of(3) == 42
+        assert links.is_linked_vpa(3)
+        assert len(links) == 1
+
+    def test_link_emits_metadata_writes(self):
+        links = self.make()
+        links.link(42, 3)
+        writes = links.drain_writes()
+        kinds = sorted(w.kind for w in writes)
+        assert kinds == ["inverse", "pointer"]
+        pointer = next(w for w in writes if w.kind == "pointer")
+        assert pointer.location == 42
+        inverse = next(w for w in writes if w.kind == "inverse")
+        assert inverse.location == 7  # the page's pointer PA
+
+    def test_double_link_rejected(self):
+        links = self.make()
+        links.link(42, 3)
+        with pytest.raises(ProtocolError):
+            links.link(42, 4)
+        with pytest.raises(ProtocolError):
+            links.link(43, 3)
+
+    def test_switch_exchanges_vpas(self):
+        links = self.make()
+        links.link(42, 3)
+        links.link(43, 4)
+        links.drain_writes()
+        links.switch(42, 43)
+        assert links.vpa_of(42) == 4
+        assert links.vpa_of(43) == 3
+        assert links.failed_of(3) == 43
+        assert links.failed_of(4) == 42
+        # A switch rewrites both pointers and both inverse pointers.
+        writes = links.drain_writes()
+        assert sorted(w.kind for w in writes) == ["inverse", "inverse",
+                                                  "pointer", "pointer"]
+
+    def test_switch_requires_links(self):
+        links = self.make()
+        links.link(42, 3)
+        with pytest.raises(ProtocolError):
+            links.switch(42, 99)
+
+    def test_linked_blocks_sorted(self):
+        links = self.make()
+        links.link(50, 3)
+        links.link(42, 4)
+        assert links.linked_blocks() == [42, 50]
+
+
+class TestRetiredPageBitmap:
+    def test_mark_and_query(self):
+        bitmap = RetiredPageBitmap(16, replicas=2)
+        bitmap.mark_retired(3)
+        assert bitmap.is_retired(3)
+        assert not bitmap.is_retired(4)
+        assert bitmap.retired_count == 1
+        assert bitmap.retired_pages() == [3]
+
+    def test_replica_write_accounting(self):
+        bitmap = RetiredPageBitmap(16, replicas=3)
+        bitmap.mark_retired(0)
+        bitmap.mark_retired(1)
+        assert bitmap.metadata_writes == 6
+
+    def test_double_mark_rejected(self):
+        bitmap = RetiredPageBitmap(16)
+        bitmap.mark_retired(3)
+        with pytest.raises(ProtocolError):
+            bitmap.mark_retired(3)
+
+    def test_bounds(self):
+        bitmap = RetiredPageBitmap(16)
+        with pytest.raises(AddressError):
+            bitmap.mark_retired(16)
+        with pytest.raises(AddressError):
+            bitmap.is_retired(-1)
+
+    def test_reboot_round_trip(self):
+        bitmap = RetiredPageBitmap(100, replicas=2)
+        for page in (0, 13, 64, 99):
+            bitmap.mark_retired(page)
+        restored = RetiredPageBitmap.from_bytes(bitmap.to_bytes(), 100)
+        assert restored.retired_pages() == [0, 13, 64, 99]
+
+    def test_truncated_serialization_rejected(self):
+        with pytest.raises(AddressError):
+            RetiredPageBitmap.from_bytes(b"\x00", 100)
+
+    def test_storage_cost(self):
+        bitmap = RetiredPageBitmap(100, replicas=2)
+        assert bitmap.storage_bytes() == 2 * 13

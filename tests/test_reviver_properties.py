@@ -1,0 +1,139 @@
+"""Hypothesis property tests over the raw reviver protocol.
+
+The controller-level tests exercise the protocol through real traffic;
+these drive :class:`WLReviver` directly with *adversarial* interleavings of
+failure events and mapping changes over a toy world, checking the paper's
+theorems after every event.  Hypothesis shrinks any violating sequence to a
+minimal counterexample, which makes this the sharpest debugging tool in
+the suite.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import ReviverConfig
+from repro.errors import CapacityExhaustedError
+from repro.osmodel import FaultReporter, PagePool
+from repro.reviver import FaultContext, InvariantChecker, WLReviver
+
+BLOCKS = 64
+BPP = 8
+
+
+class ProtocolWorld:
+    """A permutation world the reviver operates against."""
+
+    def __init__(self) -> None:
+        # mapping[pa] = da over BLOCKS-1 PAs; DA BLOCKS-1 starts unmapped
+        # (a gap-like line) to exercise inverse(None) paths.
+        self.mapping = list(range(BLOCKS - 1)) + [None]
+        self.failed = set()
+        self.pool = PagePool(BLOCKS - 1 - ((BLOCKS - 1) % BPP),
+                             blocks_per_page=BPP, seed=1)
+        self.reporter = FaultReporter(self.pool)
+        self.reviver = WLReviver(
+            ReviverConfig(), self.reporter,
+            map_fn=self.map_fn, inverse_fn=self.inverse_fn,
+            is_failed=lambda da: da in self.failed,
+            blocks_per_page=BPP, block_bytes=64,
+            num_pages=self.pool.num_pages)
+
+    def map_fn(self, pa: int) -> int:
+        return self.mapping[pa]
+
+    def inverse_fn(self, da: int):
+        for pa in range(len(self.mapping) - 1):
+            if self.mapping[pa] == da:
+                return pa
+        return None
+
+    # ------------------------------------------------------------- operations
+
+    def rotate_mapping(self, pa_a: int, pa_b: int) -> None:
+        """A wear-leveling event: swap two PAs' device blocks."""
+        if pa_a == pa_b:
+            return
+        self.mapping[pa_a], self.mapping[pa_b] = \
+            self.mapping[pa_b], self.mapping[pa_a]
+        self.reviver.on_mapping_changed([pa_a, pa_b])
+
+    def fail_block(self, da: int) -> bool:
+        """A wear-out event at *da* (skipped if already failed)."""
+        if da in self.failed or da >= BLOCKS - 1:
+            return False
+        self.failed.add(da)
+        pa = self.inverse_fn(da)
+        software = (pa is not None
+                    and self.pool.pa_in_software_space(pa)
+                    and self.pool.is_usable(self.pool.page_of_pa(pa)))
+        if software:
+            return self.reviver.handle_new_failure(
+                da, FaultContext.SOFTWARE, victim_pa=pa, at_write=0)
+        handled = self.reviver.handle_new_failure(
+            da, FaultContext.MIGRATION, at_write=0)
+        if not handled:
+            # Victimize some usable software PA, as the controller would.
+            for page in self.pool.pages:
+                if page.is_usable:
+                    victim = page.page_id * BPP
+                    self.reviver.acquire_page(victim, 0, victimized=True)
+                    return True
+        return handled
+
+    def check(self) -> None:
+        if self.reviver.acquisition_pending:
+            return
+        software_pas = [page.page_id * BPP + off
+                        for page in self.pool.pages if page.is_usable
+                        for off in range(BPP)]
+        checker = InvariantChecker(
+            self.reviver.links, self.reviver.spares,
+            self.map_fn, lambda da: da in self.failed,
+            lambda: software_pas, lambda: sorted(self.failed))
+        checker.check_all()
+
+
+@given(events=st.lists(
+    st.one_of(
+        st.tuples(st.just("fail"),
+                  st.integers(min_value=0, max_value=BLOCKS - 2)),
+        st.tuples(st.just("rotate"),
+                  st.tuples(st.integers(min_value=0, max_value=BLOCKS - 2),
+                            st.integers(min_value=0, max_value=BLOCKS - 2)))),
+    min_size=1, max_size=60))
+@settings(max_examples=120, deadline=None)
+def test_theorems_hold_under_adversarial_event_orders(events):
+    """Property: any interleaving of failures and remappings preserves
+    Theorems 1-3 and link consistency (until genuine space exhaustion)."""
+    world = ProtocolWorld()
+    try:
+        for kind, payload in events:
+            if kind == "fail":
+                world.fail_block(payload)
+            else:
+                world.rotate_mapping(*payload)
+            world.check()
+    except CapacityExhaustedError:
+        pass  # the chip genuinely ran out of pages: a legal terminal state
+
+
+@given(seed=st.integers(min_value=0, max_value=10**6))
+@settings(max_examples=30, deadline=None)
+def test_spare_accounting_balances(seed):
+    """Property: acquired slots == consumed + available, always."""
+    import random
+    rng = random.Random(seed)
+    world = ProtocolWorld()
+    try:
+        for _ in range(40):
+            if rng.random() < 0.5:
+                world.fail_block(rng.randrange(BLOCKS - 1))
+            else:
+                world.rotate_mapping(rng.randrange(BLOCKS - 1),
+                                     rng.randrange(BLOCKS - 1))
+            spares = world.reviver.spares
+            assert spares.total_acquired == \
+                spares.total_consumed + spares.available
+            assert len(world.reviver.links) <= spares.total_consumed
+    except CapacityExhaustedError:
+        pass

@@ -1,0 +1,132 @@
+"""Unit tests for single-level Security Refresh."""
+
+import numpy as np
+import pytest
+
+from repro.config import SecurityRefreshConfig
+from repro.errors import ConfigurationError
+from repro.wl import NullPort, SecurityRefresh
+
+
+def make_sr(device: int = 64, interval: int = 5, seed: int = 3):
+    return SecurityRefresh(device,
+                           config=SecurityRefreshConfig(
+                               refresh_interval=interval, seed=seed))
+
+
+class TestMapping:
+    def test_initial_identity(self):
+        sr = make_sr()
+        # key_prev = 0 and nothing refreshed: identity mapping at boot.
+        assert all(sr.map(pa) == pa for pa in range(64))
+
+    def test_bijection_initial(self):
+        make_sr().check_bijection()
+
+    def test_bijection_across_rounds(self):
+        sr = make_sr(interval=1)
+        port = NullPort()
+        for step in range(3 * sr.logical_blocks):
+            sr.tick(port)
+            if step % 13 == 0:
+                sr.check_bijection()
+        sr.check_bijection()
+
+    def test_map_many_matches_scalar(self):
+        sr = make_sr(interval=1)
+        port = NullPort()
+        for _ in range(40):
+            sr.tick(port)
+        pas = np.arange(64)
+        assert (sr.map_many(pas)
+                == np.array([sr.map(int(p)) for p in pas])).all()
+
+    def test_all_blocks_mapped(self):
+        # No gap line: logical == device (implicit buffer, Theorem 3).
+        assert make_sr().logical_blocks == 64
+
+
+class TestRefresh:
+    def test_refresh_cadence(self):
+        sr = make_sr(interval=5)
+        port = NullPort()
+        for _ in range(50):
+            sr.tick(port)
+        assert sr.refreshes == 10
+
+    def test_round_completion_rotates_keys(self):
+        sr = make_sr(interval=1)
+        port = NullPort()
+        first_key = sr.key_cur
+        for _ in range(sr.logical_blocks):
+            sr.tick(port)
+        assert sr.rounds == 1
+        assert sr.key_prev == first_key
+
+    def test_swap_changes_two_pas(self):
+        sr = make_sr(interval=1)
+        port = NullPort()
+        for _ in range(sr.logical_blocks):
+            before = {pa: sr.map(pa) for pa in range(64)}
+            changed = sr.tick(port)
+            after = {pa: sr.map(pa) for pa in range(64)}
+            moved = sorted(pa for pa in before if before[pa] != after[pa])
+            assert sorted(changed) == moved
+            assert len(moved) in (0, 2)
+
+    def test_pair_partner_skipped(self):
+        """Each pair is physically swapped once per round."""
+        sr = make_sr(interval=1, seed=1)
+        port = NullPort()
+        for _ in range(sr.logical_blocks):
+            sr.tick(port)
+        # One swap (2 writes) per unordered pair with distinct members.
+        key = sr.key_prev  # the key of the completed round
+        distinct_pairs = sum(1 for ma in range(64) if (ma ^ key) > ma)
+        assert len(port.writes) == 2 * distinct_pairs
+
+    def test_schedule_due(self):
+        sr = make_sr(interval=5)
+        assert sr.schedule_due(50) == 10
+        sr.bulk_migrations(3)
+        assert sr.schedule_due(50) == 7
+
+    def test_bulk_rows_are_swap_pairs(self):
+        sr = make_sr(interval=1)
+        rows = sr.bulk_migrations(sr.logical_blocks)
+        assert rows.shape[1] == 2
+        assert rows.shape[0] % 2 == 0
+        # Rows come in (a,b),(b,a) pairs.
+        for index in range(0, len(rows), 2):
+            a, b = rows[index]
+            assert (rows[index + 1] == [b, a]).all()
+
+
+class TestLifecycle:
+    def test_freeze(self):
+        sr = make_sr(interval=1)
+        port = NullPort()
+        sr.freeze()
+        for _ in range(20):
+            assert sr.tick(port) == []
+        assert sr.refreshes == 0
+
+    def test_deferred_when_port_busy(self):
+        class BusyPort(NullPort):
+            def can_start_migration(self):
+                return False
+
+        sr = make_sr(interval=1)
+        busy = BusyPort()
+        for _ in range(7):
+            sr.tick(busy)
+        assert sr.refreshes == 0
+        sr.tick(NullPort())
+        assert sr.refreshes >= 7
+
+    def test_rejects_non_power_of_two(self):
+        with pytest.raises(ConfigurationError):
+            SecurityRefresh(100)
+
+    def test_describe(self):
+        assert "SecurityRefresh" in make_sr().describe()

@@ -1,0 +1,149 @@
+"""Tests for two-level Security Refresh, incl. full-stack revival."""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.config import ReviverConfig
+from repro.errors import CapacityExhaustedError, ConfigurationError
+from repro.mc import ReviverController
+from repro.osmodel import PagePool
+from repro.wl import NullPort, TwoLevelSecurityRefresh
+
+from .conftest import assert_data_consistent, make_chip
+
+
+def make_scheme(device: int = 64, subs: int = 4, inner: int = 5,
+                outer: int = None, seed: int = 7):
+    return TwoLevelSecurityRefresh(device, num_subregions=subs,
+                                   inner_interval=inner,
+                                   outer_interval=outer, seed=seed)
+
+
+class TestMapping:
+    def test_bijection_initial(self):
+        make_scheme().check_bijection()
+
+    def test_bijection_through_both_levels(self):
+        scheme = make_scheme(inner=2, outer=40)
+        port = NullPort()
+        for step in range(600):
+            scheme.tick(port, pa=step % 64)
+            if step % 37 == 0:
+                scheme.check_bijection()
+        scheme.check_bijection()
+        assert scheme.outer.refreshes > 0  # the outer level actually ran
+
+    def test_map_many_matches_scalar(self):
+        scheme = make_scheme(inner=2, outer=40)
+        port = NullPort()
+        for step in range(150):
+            scheme.tick(port, pa=(step * 7) % 64)
+        pas = np.arange(64)
+        assert (scheme.map_many(pas)
+                == np.array([scheme.map(int(p)) for p in pas])).all()
+
+    def test_all_blocks_mapped(self):
+        assert make_scheme().logical_blocks == 64
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ConfigurationError):
+            TwoLevelSecurityRefresh(100, num_subregions=4)
+        with pytest.raises(ConfigurationError):
+            TwoLevelSecurityRefresh(64, num_subregions=3)
+        with pytest.raises(ConfigurationError):
+            TwoLevelSecurityRefresh(64, num_subregions=64)
+
+
+class TestScheduling:
+    def test_inner_charged_per_subregion(self):
+        scheme = make_scheme(inner=5, outer=10 ** 9)
+        port = NullPort()
+        for _ in range(50):
+            scheme.tick(port, pa=0)  # all writes to sub-region 0
+        assert scheme.inner[0].refreshes == 10
+        assert all(scheme.inner[s].refreshes == 0 for s in (1, 2, 3))
+
+    def test_outer_swap_migrates_whole_subregions(self):
+        scheme = make_scheme(inner=10 ** 9, outer=10)
+        port = NullPort()
+        changed_sizes = []
+        for step in range(200):
+            changed = scheme.tick(port, pa=step % 64)
+            if changed:
+                changed_sizes.append(len(changed))
+        # Every outer refresh that swapped moved 2 * sub_blocks PAs.
+        assert changed_sizes
+        assert all(size == 2 * scheme.sub_blocks for size in changed_sizes)
+
+    def test_data_moves_with_outer_swap(self):
+        scheme = make_scheme(inner=10 ** 9, outer=5, seed=9)
+        dev = [-1] * 64
+
+        class Port:
+            def can_start_migration(self):
+                return True
+
+            def read_migration(self, da):
+                return dev[da]
+
+            def write_migration_pa(self, pa, tag):
+                dev[scheme.map(pa)] = tag
+
+        port = Port()
+        expected = {}
+        rnd = random.Random(2)
+        for step in range(2000):
+            pa = rnd.randrange(64)
+            dev[scheme.map(pa)] = step
+            expected[pa] = step
+            scheme.tick(port, pa=pa)
+        assert scheme.outer.rounds >= 1
+        for pa, tag in expected.items():
+            assert dev[scheme.map(pa)] == tag
+
+    def test_schedule_due_and_bulk(self):
+        scheme = make_scheme(inner=5, outer=200)
+        counts = np.ones(64, dtype=np.int64) * 4  # 256 writes
+        scheme.charge_writes(np.arange(64), counts)
+        due = scheme.schedule_due(256)
+        assert due > 0
+        rows = scheme.bulk_migrations(due)
+        scheme.check_bijection()
+        assert rows.shape[1] == 2
+
+    def test_freeze(self):
+        scheme = make_scheme(inner=1)
+        scheme.freeze()
+        assert scheme.tick(NullPort(), pa=0) == []
+
+
+class TestWithReviver:
+    def test_full_stack_data_consistency(self):
+        """The 'any scheme' claim, hardest case: hierarchical migration
+        with whole-sub-region moves over a failing chip."""
+        chip = make_chip(num_blocks=128, mean=400, seed=11)
+        scheme = TwoLevelSecurityRefresh(128, num_subregions=4,
+                                         inner_interval=40, seed=5)
+        ospool = PagePool(scheme.logical_blocks, blocks_per_page=8,
+                          utilization=0.8, seed=5)
+        controller = ReviverController(
+            chip, scheme, ospool,
+            reviver_config=ReviverConfig(check_invariants=True),
+            copy_on_retire=True)
+        rng = random.Random(3)
+        expected = {}
+        space = ospool.virtual_blocks
+        try:
+            step = 0
+            while chip.failed_fraction() < 0.3 and step < 25_000:
+                vblock = rng.randrange(space)
+                controller.service_write(vblock, tag=step)
+                expected[vblock] = step
+                step += 1
+        except CapacityExhaustedError:
+            pass
+        assert chip.failed_fraction() > 0.05
+        assert controller.reviver.stats()["hidden_failures"] > 0
+        assert_data_consistent(controller, expected)

@@ -1,0 +1,63 @@
+"""Unit tests for the metric collectors."""
+
+import pytest
+
+from repro.sim import LifetimeSeries, LifetimeSummary
+
+
+def make_series() -> LifetimeSeries:
+    series = LifetimeSeries(label="test")
+    series.record(0, 1.0, 1.0)
+    series.record(100, 0.95, 0.9, avg_access=1.01)
+    series.record(200, 0.80, 0.7, avg_access=1.02)
+    series.record(300, 0.65, 0.5, avg_access=1.05)
+    return series
+
+
+class TestLifetimeSeries:
+    def test_total_writes(self):
+        assert make_series().total_writes == 300
+        assert LifetimeSeries().total_writes == 0
+
+    def test_writes_to_survival(self):
+        series = make_series()
+        assert series.writes_to_survival(0.95) == 100
+        assert series.writes_to_survival(0.7) == 300
+        assert series.writes_to_survival(0.1) is None
+
+    def test_writes_to_usable(self):
+        series = make_series()
+        assert series.writes_to_usable(0.7) == 200
+        assert series.writes_to_usable(0.05) is None
+
+    def test_point_lookup(self):
+        series = make_series()
+        assert series.survival_at(150) == 0.95
+        assert series.survival_at(200) == 0.80
+        assert series.usable_at(250) == 0.7
+        # Before any sample: pristine chip.
+        assert series.survival_at(-1) == 1.0
+
+    def test_empty_series_lookup(self):
+        series = LifetimeSeries()
+        assert series.survival_at(1000) == 1.0
+
+    def test_trimmed(self):
+        trimmed = make_series().trimmed(0.8)
+        assert len(trimmed.points) == 3
+        assert trimmed.points[-1].survival == 0.80
+
+
+class TestLifetimeSummary:
+    def test_from_series(self):
+        summary = LifetimeSummary.from_series(make_series(), os_reports=4)
+        assert summary.lifetime_writes == 300
+        assert summary.final_survival == 0.65
+        assert summary.final_usable == 0.5
+        assert summary.avg_access == pytest.approx(1.05)
+        assert summary.os_reports == 4
+
+    def test_from_empty_series(self):
+        summary = LifetimeSummary.from_series(LifetimeSeries(label="x"))
+        assert summary.lifetime_writes == 0
+        assert summary.final_survival == 1.0

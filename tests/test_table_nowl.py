@@ -1,0 +1,78 @@
+"""Unit tests for TableWL and NoWL."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.wl import NoWL, NullPort, TableWL
+
+
+class TestTableWL:
+    def test_initial_identity(self):
+        table = TableWL(16)
+        assert all(table.map(pa) == pa for pa in range(16))
+        table.check_bijection()
+
+    def test_swap_picks_hot_and_cold(self):
+        table = TableWL(16, swap_interval=4)
+        port = NullPort()
+        for _ in range(3):
+            table.record_write(0)
+            table.tick(port)
+        table.record_write(0)
+        changed = table.tick(port)
+        assert table.swaps == 1
+        assert 0 in changed
+        assert table.map(0) != 0  # hot PA moved to the coldest block
+
+    def test_counter_exchange_prevents_repeat_pick(self):
+        table = TableWL(8, swap_interval=1)
+        port = NullPort()
+        first_targets = set()
+        for _ in range(4):
+            table.record_write(table.map(0))
+            table.tick(port)
+            first_targets.add(table.map(0))
+        # The hot PA keeps moving to new homes, not ping-ponging between 2.
+        assert len(first_targets) >= 3
+
+    def test_no_swap_when_uniform(self):
+        table = TableWL(8, swap_interval=1)
+        port = NullPort()
+        assert table.tick(port) == []
+        assert table.swaps == 0
+
+    def test_freeze(self):
+        table = TableWL(8, swap_interval=1)
+        table.record_write(0)
+        table.freeze()
+        assert table.tick(NullPort()) == []
+
+    def test_rejects_bad_interval(self):
+        with pytest.raises(ConfigurationError):
+            TableWL(8, swap_interval=0)
+
+    def test_schedule_due(self):
+        table = TableWL(8, swap_interval=10)
+        assert table.schedule_due(35) == 3
+
+
+class TestNoWL:
+    def test_identity_forever(self):
+        nowl = NoWL(16)
+        port = NullPort()
+        for _ in range(100):
+            nowl.tick(port)
+        assert all(nowl.map(pa) == pa for pa in range(16))
+        nowl.check_bijection()
+
+    def test_no_migrations(self):
+        nowl = NoWL(16)
+        assert nowl.bulk_migrations(100).size == 0
+        assert nowl.schedule_due(10_000) == 0
+
+    def test_tick_counts_writes(self):
+        nowl = NoWL(16)
+        port = NullPort()
+        for _ in range(5):
+            nowl.tick(port)
+        assert nowl.write_count == 5

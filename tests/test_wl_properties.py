@@ -1,0 +1,130 @@
+"""Property-based tests shared by every wear-leveling scheme.
+
+The fundamental invariant of wear leveling (Section I-B): *the same valid
+PA consistently refers to the same data no matter where it is physically
+migrated*.  These tests drive each scheme with randomized write/migration
+interleavings over an in-memory device model and assert the invariant, plus
+bijectivity, at every checkpoint.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import SecurityRefreshConfig, StartGapConfig
+from repro.wl import NoWL, SecurityRefresh, StartGap, TableWL
+
+
+class DevicePort:
+    """A MigrationPort over a plain array standing in for the PCM."""
+
+    def __init__(self, blocks: int) -> None:
+        self.cells = [-1] * blocks
+
+    def can_start_migration(self) -> bool:
+        return True
+
+    def read_migration(self, da: int) -> int:
+        return self.cells[da]
+
+    def write_migration_pa(self, pa: int, tag: int) -> None:
+        self.scheme_map = getattr(self, "scheme_map", None)
+        assert self.scheme_map is not None, "bind() before migrating"
+        self.cells[self.scheme_map(pa)] = tag
+
+    def bind(self, scheme) -> None:
+        self.scheme_map = scheme.map
+
+
+def make_scheme(kind: str, device: int):
+    if kind == "startgap":
+        return StartGap(device + 1, config=StartGapConfig(psi=3, seed=2))
+    if kind == "secref":
+        return SecurityRefresh(device,
+                               config=SecurityRefreshConfig(
+                                   refresh_interval=3, seed=2))
+    if kind == "table":
+        return TableWL(device, swap_interval=3)
+    if kind == "nowl":
+        return NoWL(device)
+    raise AssertionError(kind)
+
+
+SCHEMES = ["startgap", "secref", "table", "nowl"]
+
+
+@pytest.mark.parametrize("kind", SCHEMES)
+@given(data=st.data())
+@settings(max_examples=25, deadline=None)
+def test_data_follows_pa_through_migrations(kind, data):
+    """Writes to PAs always read back, whatever the migration schedule did."""
+    device = 32
+    scheme = make_scheme(kind, device)
+    port = DevicePort(scheme.device_blocks)
+    port.bind(scheme)
+    expected = {}
+    steps = data.draw(st.lists(
+        st.integers(min_value=0, max_value=scheme.logical_blocks - 1),
+        min_size=30, max_size=120))
+    for tag, pa in enumerate(steps):
+        port.cells[scheme.map(pa)] = 1000 + tag
+        expected[pa] = 1000 + tag
+        if kind == "table":
+            scheme.record_write(scheme.map(pa))
+        scheme.tick(port)
+    for pa, tag in expected.items():
+        assert port.cells[scheme.map(pa)] == tag
+
+
+@pytest.mark.parametrize("kind", SCHEMES)
+@given(ticks=st.integers(min_value=0, max_value=300))
+@settings(max_examples=15, deadline=None)
+def test_mapping_stays_bijective(kind, ticks):
+    """Property: the PA->DA map is injective after any tick count."""
+    scheme = make_scheme(kind, 16)
+    port = DevicePort(scheme.device_blocks)
+    port.bind(scheme)
+    for tick in range(ticks):
+        if kind == "table":
+            scheme.record_write(scheme.map(tick % scheme.logical_blocks))
+        scheme.tick(port)
+    scheme.check_bijection()
+
+
+@pytest.mark.parametrize("kind", ["startgap", "secref"])
+def test_changed_pa_reports_are_exact(kind):
+    """tick() reports exactly the PAs whose mapping changed."""
+    scheme = make_scheme(kind, 32)
+    port = DevicePort(scheme.device_blocks)
+    port.bind(scheme)
+    for _ in range(200):
+        before = {pa: scheme.map(pa) for pa in range(scheme.logical_blocks)}
+        changed = scheme.tick(port)
+        after = {pa: scheme.map(pa) for pa in range(scheme.logical_blocks)}
+        moved = sorted(pa for pa in before if before[pa] != after[pa])
+        assert sorted(changed) == moved
+
+
+@pytest.mark.parametrize("kind", SCHEMES)
+def test_bulk_migrations_preserve_bijection(kind):
+    scheme = make_scheme(kind, 16)
+    if kind == "table":
+        scheme.pa_writes[:] = np.arange(scheme.device_blocks)
+        scheme.block_writes[:] = np.arange(scheme.device_blocks)
+    scheme.bulk_migrations(50)
+    scheme.check_bijection()
+
+
+def test_startgap_levels_hot_traffic():
+    """A single hot PA's wear spreads across the device over rotations."""
+    scheme = StartGap(33, config=StartGapConfig(psi=1, seed=2))
+    port = DevicePort(scheme.device_blocks)
+    port.bind(scheme)
+    wear = np.zeros(scheme.device_blocks, dtype=np.int64)
+    hot_pa = 5
+    for _ in range(33 * 34 * 3):  # three full rotations
+        wear[scheme.map(hot_pa)] += 1
+        scheme.tick(port)
+    touched = int((wear > 0).sum())
+    assert touched == scheme.device_blocks  # every block shared the load
