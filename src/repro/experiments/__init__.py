@@ -14,7 +14,8 @@ minutes; ``full`` is the largest configuration that is still tractable in
 pure Python.
 """
 
-from . import attacks, common, report, table1, fig5, fig6, fig7, fig8, table2
+from . import (attacks, common, parallel, report, table1, fig5, fig6, fig7,
+               fig8, table2)
 
 EXPERIMENTS = {
     "table1": table1,
@@ -27,5 +28,5 @@ EXPERIMENTS = {
     "attacks": attacks,
 }
 
-__all__ = ["EXPERIMENTS", "attacks", "common", "report",
+__all__ = ["EXPERIMENTS", "attacks", "common", "parallel", "report",
            "table1", "fig5", "fig6", "fig7", "fig8", "table2"]

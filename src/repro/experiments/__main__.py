@@ -3,8 +3,8 @@
 Examples::
 
     python -m repro.experiments table1
-    python -m repro.experiments fig5 --scale small
-    python -m repro.experiments all --scale tiny
+    python -m repro.experiments fig5 --scale small --jobs 4
+    python -m repro.experiments all --scale tiny --jobs 4 --resume out/
     repro-experiments fig7 --benchmarks ocean
 """
 
@@ -18,6 +18,14 @@ from pathlib import Path
 from typing import List, Optional
 
 from . import EXPERIMENTS
+from .parallel import CellOutcome, GridRunner
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -35,13 +43,28 @@ def build_parser() -> argparse.ArgumentParser:
                         help="restrict to these benchmarks where applicable")
     parser.add_argument("--seed", type=int, default=1,
                         help="experiment seed (default: 1)")
+    parser.add_argument("--jobs", type=_positive_int, default=1,
+                        metavar="N",
+                        help="worker processes for the experiment grid "
+                             "(default: 1 = serial; results are identical "
+                             "at any job count)")
+    parser.add_argument("--resume", type=Path, default=None, metavar="DIR",
+                        help="persist per-cell results under DIR as JSON "
+                             "and skip cells already completed there")
     parser.add_argument("--json", type=Path, default=None, metavar="FILE",
                         help="also dump machine-readable results as JSON")
     return parser
 
 
+def _progress_printer(outcome: CellOutcome, done: int, total: int) -> None:
+    state = "cached" if outcome.cached else f"{outcome.seconds:.1f}s"
+    print(f"  [{done}/{total}] {outcome.key} ({state})", file=sys.stderr)
+
+
 def run_experiment(name: str, scale: str, seed: int,
-                   benchmarks: Optional[List[str]]) -> tuple:
+                   benchmarks: Optional[List[str]],
+                   jobs: int = 1, resume: Optional[Path] = None,
+                   quiet: bool = False) -> tuple:
     """Run one experiment; returns (rendered report, machine-readable)."""
     module = EXPERIMENTS[name]
     kwargs = {"scale": scale, "seed": seed}
@@ -49,12 +72,19 @@ def run_experiment(name: str, scale: str, seed: int,
         kwargs["benchmarks"] = benchmarks
     if name == "table1":
         kwargs.pop("seed")
+    runner = GridRunner(
+        jobs=jobs,
+        resume=resume / f"{name}-{scale}.json" if resume else None,
+        progress=None if quiet else _progress_printer)
     started = time.time()
-    result = module.run(**kwargs)
+    result = module.run(runner=runner, **kwargs)
     rendered = module.render(result)
     elapsed = time.time() - started
-    return (f"{rendered}\n[{name}: {elapsed:.1f}s]",
-            module.as_dict(result))
+    cached = sum(1 for o in runner.outcomes if o.cached)
+    timing = (f"[{name}: {elapsed:.1f}s, {len(runner.outcomes)} cells"
+              + (f", {cached} resumed" if cached else "")
+              + (f", jobs={jobs}" if jobs > 1 else "") + "]")
+    return (f"{rendered}\n{timing}", module.as_dict(result))
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -65,7 +95,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     collected = {}
     for name in names:
         rendered, data = run_experiment(name, args.scale, args.seed,
-                                        args.benchmarks)
+                                        args.benchmarks,
+                                        jobs=args.jobs, resume=args.resume)
         collected[name] = data
         print(rendered)
         print()

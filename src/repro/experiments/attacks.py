@@ -23,18 +23,23 @@ from ..traces.base import DistributionTrace
 from ..traces.synthetic import hotspot_distribution
 from ..wl import StartGap
 from .common import ScaledParameters, build_chip, scaled_parameters
+from .parallel import Cell, cell_seed, make_runner
 from .report import format_number, format_table
 
+#: CLI names of the adversarial streams, in report order.
+ATTACKS = ("birthday-paradox-64", "hammer-8", "hot-region-cov10")
 
-def _attack_traces(params: ScaledParameters, seed: int) -> List[tuple]:
+
+def _attack_trace(name: str, params: ScaledParameters,
+                  seed: int) -> DistributionTrace:
     blocks = params.num_blocks
-    return [
-        ("birthday-paradox-64",
-         birthday_paradox_attack(blocks, set_size=64, seed=seed)),
-        ("hammer-8", hammer_attack(blocks, targets=8, seed=seed)),
-        ("hot-region-cov10",
-         hotspot_distribution(blocks, target_cov=10.0, seed=seed)),
-    ]
+    if name == "birthday-paradox-64":
+        return birthday_paradox_attack(blocks, set_size=64, seed=seed)
+    if name == "hammer-8":
+        return hammer_attack(blocks, targets=8, seed=seed)
+    if name == "hot-region-cov10":
+        return hotspot_distribution(blocks, target_cov=10.0, seed=seed)
+    raise KeyError(f"unknown attack {name!r}")
 
 
 def _lifetime(params: ScaledParameters, trace: DistributionTrace,
@@ -71,20 +76,45 @@ class AttackResult:
     scale: str
 
 
+def _cell(scale: str, attack: str, recovery: str, trace_seed: int,
+          seed: int) -> dict:
+    """One grid cell: a single engine run under one attack stream."""
+    params = scaled_parameters(scale)
+    trace = _attack_trace(attack, params, trace_seed)
+    return {"lifetime": _lifetime(params, trace, recovery, seed)}
+
+
+def grid(scale: str, seed: int) -> List[Cell]:
+    """The (attack x system) grid."""
+    cells = []
+    for attack in ATTACKS:
+        for recovery in ("none", "reviver"):
+            key = f"attacks/{scale}/{attack}/{recovery}"
+            cells.append(Cell(key=key, fn=f"{__name__}:_cell",
+                              kwargs=dict(scale=scale, attack=attack,
+                                          recovery=recovery,
+                                          trace_seed=seed + 2,
+                                          seed=cell_seed(seed, key))))
+    return cells
+
+
 def run(scale: str = "small", benchmarks: Optional[List[str]] = None,
-        seed: int = 1) -> AttackResult:
+        seed: int = 1, jobs: int = 1, resume=None, progress=None,
+        runner=None) -> AttackResult:
     """Measure both systems' lifetimes under each attack stream.
 
     ``benchmarks`` is accepted for CLI uniformity and ignored: attack
     streams replace the workload.
     """
-    params = scaled_parameters(scale)
-    rows = []
-    for name, trace in _attack_traces(params, seed + 2):
-        frozen = _lifetime(params, trace, "none", seed)
-        revived = _lifetime(params, trace, "reviver", seed)
-        rows.append(AttackRow(attack=name, frozen_lifetime=frozen,
-                              revived_lifetime=revived))
+    runner = make_runner(jobs=jobs, resume=resume, progress=progress,
+                         runner=runner)
+    values = runner.run(grid(scale, seed))
+    rows = [AttackRow(
+        attack=attack,
+        frozen_lifetime=values[f"attacks/{scale}/{attack}/none"]["lifetime"],
+        revived_lifetime=values[f"attacks/{scale}/{attack}/reviver"]
+        ["lifetime"])
+        for attack in ATTACKS]
     return AttackResult(rows=rows, scale=scale)
 
 

@@ -18,7 +18,14 @@ from typing import Dict, List, Optional
 
 from ..traces import BENCHMARKS
 from .common import build_engine, scaled_parameters
+from .parallel import Cell, cell_seed, make_runner
 from .report import format_number, format_table
+
+#: The two systems of the figure's bar pairs.
+SYSTEMS = {
+    "ECP6-SG": "none",
+    "ECP6-SG-WLR": "reviver",
+}
 
 
 @dataclass(frozen=True)
@@ -46,24 +53,43 @@ class Fig5Result:
     scale: str
 
 
-def run(scale: str = "small", benchmarks: Optional[List[str]] = None,
-        seed: int = 1) -> Fig5Result:
-    """Measure both configurations' lifetimes for every benchmark."""
+def _cell(scale: str, benchmark: str, system: str, seed: int) -> dict:
+    """One grid cell: a single engine run (executes in a worker)."""
     params = scaled_parameters(scale)
+    engine = build_engine(params, benchmark, ecc="ecp6",
+                          wear_leveling=True, recovery=SYSTEMS[system],
+                          seed=seed, label=f"{benchmark}/{system}")
+    return {"lifetime": engine.run().lifetime_writes}
+
+
+def grid(scale: str, benchmarks: List[str], seed: int) -> List[Cell]:
+    """The figure's (benchmark x system) grid."""
+    cells = []
+    for name in benchmarks:
+        for system in SYSTEMS:
+            key = f"fig5/{scale}/{name}/{system}"
+            cells.append(Cell(key=key, fn=f"{__name__}:_cell",
+                              kwargs=dict(scale=scale, benchmark=name,
+                                          system=system,
+                                          seed=cell_seed(seed, key))))
+    return cells
+
+
+def run(scale: str = "small", benchmarks: Optional[List[str]] = None,
+        seed: int = 1, jobs: int = 1, resume=None, progress=None,
+        runner=None) -> Fig5Result:
+    """Measure both configurations' lifetimes for every benchmark."""
     names = benchmarks if benchmarks is not None else list(BENCHMARKS)
-    rows = []
-    for name in names:
-        baseline = build_engine(params, name, ecc="ecp6",
-                                wear_leveling=True, recovery="none",
-                                seed=seed, label=f"{name}/ECP6-SG")
-        sg = baseline.run().lifetime_writes
-        revived = build_engine(params, name, ecc="ecp6",
-                               wear_leveling=True, recovery="reviver",
-                               seed=seed, label=f"{name}/ECP6-SG-WLR")
-        wlr = revived.run().lifetime_writes
-        rows.append(Fig5Row(benchmark=name,
-                            write_cov=BENCHMARKS[name].write_cov,
-                            sg_lifetime=sg, wlr_lifetime=wlr))
+    runner = make_runner(jobs=jobs, resume=resume, progress=progress,
+                         runner=runner)
+    values = runner.run(grid(scale, names, seed))
+    rows = [Fig5Row(benchmark=name,
+                    write_cov=BENCHMARKS[name].write_cov,
+                    sg_lifetime=values[f"fig5/{scale}/{name}/ECP6-SG"]
+                    ["lifetime"],
+                    wlr_lifetime=values[f"fig5/{scale}/{name}/ECP6-SG-WLR"]
+                    ["lifetime"])
+            for name in names]
     rows.sort(key=lambda r: r.write_cov)
     return Fig5Result(rows=rows, scale=scale)
 

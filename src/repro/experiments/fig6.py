@@ -20,6 +20,7 @@ from typing import Dict, List, Optional
 
 from ..sim.metrics import LifetimeSeries
 from .common import SYSTEM_CONFIGS, build_engine, scaled_parameters
+from .parallel import Cell, cell_seed, make_runner
 from .report import format_series
 
 
@@ -41,23 +42,46 @@ class Fig6Result:
     floor: float = 0.7
 
 
+def _cell(scale: str, benchmark: str, system: str, seed: int) -> dict:
+    """One grid cell: a single engine run (executes in a worker)."""
+    params = scaled_parameters(scale)
+    engine = build_engine(params, benchmark, seed=seed,
+                          label=f"{benchmark}/{system}",
+                          **SYSTEM_CONFIGS[system])
+    engine.run()
+    return {"series": engine.series.to_payload()}
+
+
+def grid(scale: str, benchmarks: List[str], systems: List[str],
+         seed: int) -> List[Cell]:
+    """The figure's (benchmark x system) grid."""
+    cells = []
+    for bench in benchmarks:
+        for system in systems:
+            key = f"fig6/{scale}/{bench}/{system}"
+            cells.append(Cell(key=key, fn=f"{__name__}:_cell",
+                              kwargs=dict(scale=scale, benchmark=bench,
+                                          system=system,
+                                          seed=cell_seed(seed, key))))
+    return cells
+
+
 def run(scale: str = "small",
         benchmarks: Optional[List[str]] = None,
         systems: Optional[List[str]] = None,
-        seed: int = 1) -> Fig6Result:
+        seed: int = 1, jobs: int = 1, resume=None, progress=None,
+        runner=None) -> Fig6Result:
     """Produce the survival series for every (benchmark, system) pair."""
-    params = scaled_parameters(scale)
     benches = benchmarks if benchmarks is not None else ["ocean", "mg"]
     names = systems if systems is not None else list(SYSTEM_CONFIGS)
-    curves = []
-    for bench in benches:
-        for system in names:
-            engine = build_engine(params, bench, seed=seed,
-                                  label=f"{bench}/{system}",
-                                  **SYSTEM_CONFIGS[system])
-            engine.run()
-            curves.append(Fig6Curve(system=system, benchmark=bench,
-                                    series=engine.series))
+    runner = make_runner(jobs=jobs, resume=resume, progress=progress,
+                         runner=runner)
+    values = runner.run(grid(scale, benches, names, seed))
+    curves = [Fig6Curve(system=system, benchmark=bench,
+                        series=LifetimeSeries.from_payload(
+                            values[f"fig6/{scale}/{bench}/{system}"]
+                            ["series"], label=f"{bench}/{system}"))
+              for bench in benches for system in names]
     return Fig6Result(curves=curves, scale=scale)
 
 

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional
 
 from ..sim.metrics import LifetimeSeries
 from .common import build_engine, scaled_parameters
+from .parallel import Cell, cell_seed, make_runner
 from .report import format_series
 
 #: The paper's pre-reservation sweep.
@@ -48,31 +49,63 @@ class Fig7Result:
     floor: float = 0.6
 
 
+def _cell(scale: str, benchmark: str, reserve: Optional[float],
+          seed: int) -> dict:
+    """One grid cell: a single engine run (executes in a worker)."""
+    params = scaled_parameters(scale)
+    if reserve is None:
+        engine = build_engine(params, benchmark, recovery="reviver",
+                              dead_fraction=0.45, seed=seed,
+                              label=f"{benchmark}/WL-Reviver")
+    else:
+        engine = build_engine(params, benchmark, recovery="freep",
+                              freep_reserve=reserve, dead_fraction=0.45,
+                              seed=seed,
+                              label=f"{benchmark}/FREEp-{reserve:.0%}")
+    engine.run()
+    return {"series": engine.series.to_payload()}
+
+
+def _key(scale: str, benchmark: str, reserve: Optional[float]) -> str:
+    suffix = "WL-Reviver" if reserve is None else f"FREEp-{reserve:g}"
+    return f"fig7/{scale}/{benchmark}/{suffix}"
+
+
+def grid(scale: str, benchmarks: List[str], reserves: List[float],
+         seed: int) -> List[Cell]:
+    """The figure's (benchmark x configuration) grid."""
+    cells = []
+    for bench in benchmarks:
+        for reserve in [None] + list(reserves):
+            key = _key(scale, bench, reserve)
+            cells.append(Cell(key=key, fn=f"{__name__}:_cell",
+                              kwargs=dict(scale=scale, benchmark=bench,
+                                          reserve=reserve,
+                                          seed=cell_seed(seed, key))))
+    return cells
+
+
 def run(scale: str = "small",
         benchmarks: Optional[List[str]] = None,
         reserves: Optional[List[float]] = None,
-        seed: int = 1) -> Fig7Result:
+        seed: int = 1, jobs: int = 1, resume=None, progress=None,
+        runner=None) -> Fig7Result:
     """Produce the usable-space series for WLR and each FREE-p reserve."""
-    params = scaled_parameters(scale)
     benches = benchmarks if benchmarks is not None else ["ocean", "mg"]
     sweep = reserves if reserves is not None else list(RESERVES)
+    runner = make_runner(jobs=jobs, resume=resume, progress=progress,
+                         runner=runner)
+    values = runner.run(grid(scale, benches, sweep, seed))
     curves = []
     for bench in benches:
-        engine = build_engine(params, bench, recovery="reviver",
-                              dead_fraction=0.45, seed=seed,
-                              label=f"{bench}/WL-Reviver")
-        engine.run()
-        curves.append(Fig7Curve(label="WL-Reviver", benchmark=bench,
-                                reserve=None, series=engine.series))
-        for reserve in sweep:
-            engine = build_engine(params, bench, recovery="freep",
-                                  freep_reserve=reserve, dead_fraction=0.45,
-                                  seed=seed,
-                                  label=f"{bench}/FREEp-{reserve:.0%}")
-            engine.run()
-            curves.append(Fig7Curve(label=f"FREE-p {reserve:.0%}",
-                                    benchmark=bench, reserve=reserve,
-                                    series=engine.series))
+        for reserve in [None] + list(sweep):
+            label = ("WL-Reviver" if reserve is None
+                     else f"FREE-p {reserve:.0%}")
+            payload = values[_key(scale, bench, reserve)]["series"]
+            curves.append(Fig7Curve(
+                label=label, benchmark=bench, reserve=reserve,
+                series=LifetimeSeries.from_payload(
+                    payload, label=f"{bench}/{label}")))
     return Fig7Result(curves=curves, scale=scale)
 
 

@@ -16,7 +16,11 @@ from typing import Dict, List, Optional
 
 from ..sim.metrics import LifetimeSeries
 from .common import build_engine, build_lls_engine, scaled_parameters
+from .parallel import Cell, cell_seed, jsonify, make_runner
 from .report import format_series
+
+#: Systems of the figure, in plot order.
+SYSTEMS = ("WL-Reviver", "LLS", "ECP6-SG")
 
 
 @dataclass(frozen=True)
@@ -37,33 +41,59 @@ class Fig8Result:
     scale: str
 
 
+def _cell(scale: str, benchmark: str, system: str, seed: int) -> dict:
+    """One grid cell: a single engine run (executes in a worker)."""
+    params = scaled_parameters(scale)
+    if system == "WL-Reviver":
+        engine = build_engine(params, benchmark, recovery="reviver",
+                              dead_fraction=0.4, seed=seed,
+                              label=f"{benchmark}/WL-Reviver")
+    elif system == "LLS":
+        engine = build_lls_engine(params, benchmark, dead_fraction=0.4,
+                                  seed=seed, label=f"{benchmark}/LLS")
+    else:
+        engine = build_engine(params, benchmark, recovery="none",
+                              dead_fraction=0.4, seed=seed,
+                              label=f"{benchmark}/ECP6-SG")
+    engine.run()
+    return {"series": engine.series.to_payload(),
+            "stats": jsonify(engine.stats())}
+
+
+def grid(scale: str, benchmarks: List[str], systems: List[str],
+         seed: int) -> List[Cell]:
+    """The figure's (benchmark x system) grid."""
+    cells = []
+    for bench in benchmarks:
+        for system in systems:
+            key = f"fig8/{scale}/{bench}/{system}"
+            cells.append(Cell(key=key, fn=f"{__name__}:_cell",
+                              kwargs=dict(scale=scale, benchmark=bench,
+                                          system=system,
+                                          seed=cell_seed(seed, key))))
+    return cells
+
+
 def run(scale: str = "small",
         benchmarks: Optional[List[str]] = None,
         include_baseline: bool = True,
-        seed: int = 1) -> Fig8Result:
+        seed: int = 1, jobs: int = 1, resume=None, progress=None,
+        runner=None) -> Fig8Result:
     """Produce the usable-space series for LLS, WLR (and the baseline)."""
-    params = scaled_parameters(scale)
     benches = benchmarks if benchmarks is not None else ["ocean", "mg"]
+    systems = list(SYSTEMS) if include_baseline else list(SYSTEMS[:2])
+    runner = make_runner(jobs=jobs, resume=resume, progress=progress,
+                         runner=runner)
+    values = runner.run(grid(scale, benches, systems, seed))
     curves = []
     for bench in benches:
-        wlr = build_engine(params, bench, recovery="reviver",
-                           dead_fraction=0.4, seed=seed,
-                           label=f"{bench}/WL-Reviver")
-        wlr.run()
-        curves.append(Fig8Curve(system="WL-Reviver", benchmark=bench,
-                                series=wlr.series, stats=wlr.stats()))
-        lls = build_lls_engine(params, bench, dead_fraction=0.4, seed=seed,
-                               label=f"{bench}/LLS")
-        lls.run()
-        curves.append(Fig8Curve(system="LLS", benchmark=bench,
-                                series=lls.series, stats=lls.stats()))
-        if include_baseline:
-            base = build_engine(params, bench, recovery="none",
-                                dead_fraction=0.4, seed=seed,
-                                label=f"{bench}/ECP6-SG")
-            base.run()
-            curves.append(Fig8Curve(system="ECP6-SG", benchmark=bench,
-                                    series=base.series, stats=base.stats()))
+        for system in systems:
+            cell = values[f"fig8/{scale}/{bench}/{system}"]
+            curves.append(Fig8Curve(
+                system=system, benchmark=bench,
+                series=LifetimeSeries.from_payload(
+                    cell["series"], label=f"{bench}/{system}"),
+                stats=cell["stats"]))
     return Fig8Result(curves=curves, scale=scale)
 
 

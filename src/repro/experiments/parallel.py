@@ -1,0 +1,221 @@
+"""Process-pool execution of experiment grids.
+
+Every figure/table runner evaluates a (benchmark x system-config x seed)
+grid of independent chip lifetimes.  This module fans such grids out
+across worker processes:
+
+* each grid cell is a :class:`Cell` — a unique key, a picklable dotted
+  reference to a module-level cell function, and plain-data kwargs;
+* per-cell seeds are derived deterministically from the experiment seed
+  and the cell key via :func:`repro.rng.derive_rng` (:func:`cell_seed`),
+  so results do not depend on worker scheduling and the serial and
+  parallel paths are bit-for-bit identical;
+* cell outputs are JSON-serializable records; with ``resume`` pointing at
+  a JSON file, completed cells are persisted after every finish and
+  skipped on reruns (an interrupted sweep continues where it stopped);
+* :meth:`GridRunner.report` summarizes per-cell wall time.
+
+``jobs <= 1`` executes in-process with no pool (and no fork overhead) —
+the default, and the reference the parallel path must reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import importlib
+import json
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, derive_rng, spawn_seed
+
+#: Signature of the progress callback: (finished cell, done count, total).
+ProgressFn = Callable[["CellOutcome", int, int], None]
+
+
+def cell_seed(seed: SeedLike, key: str) -> int:
+    """Deterministic per-cell seed derived from the experiment seed.
+
+    Stable across processes, runs, and submission order: only the
+    experiment seed and the cell key matter.
+    """
+    return spawn_seed(derive_rng(seed, f"cell:{key}"))
+
+
+def jsonify(value: Any) -> Any:
+    """Recursively convert numpy scalars/arrays so ``json`` accepts them."""
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, np.ndarray):
+        return value.tolist()
+    if isinstance(value, Mapping):
+        return {str(k): jsonify(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple)):
+        return [jsonify(v) for v in value]
+    return value
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One independent unit of an experiment grid."""
+
+    #: Unique id, e.g. ``"fig5/tiny/ocean/ECP6-SG"`` — the resume key and
+    #: the seed-derivation label.
+    key: str
+    #: Dotted reference ``"package.module:function"`` to a module-level
+    #: function (workers re-import it, so it must not be a closure).
+    fn: str
+    #: Plain-data keyword arguments (must pickle and round-trip JSON).
+    kwargs: Dict[str, Any]
+
+
+@dataclass(frozen=True)
+class CellOutcome:
+    """A finished (or resumed) cell."""
+
+    key: str
+    value: Any
+    seconds: float
+    #: True when the value came from the resume file, not a fresh run.
+    cached: bool = False
+
+
+def _execute(fn: str, kwargs: Dict[str, Any]) -> Any:
+    """Resolve a dotted cell reference and call it (worker entry point)."""
+    module_name, _, func_name = fn.partition(":")
+    module = importlib.import_module(module_name)
+    return jsonify(getattr(module, func_name)(**kwargs))
+
+
+class GridRunner:
+    """Runs a grid of cells serially or across a process pool."""
+
+    def __init__(self, jobs: int = 1,
+                 resume: Union[None, str, Path] = None,
+                 progress: Optional[ProgressFn] = None) -> None:
+        if jobs < 1:
+            raise ConfigurationError("jobs must be >= 1")
+        self.jobs = jobs
+        self.resume = Path(resume) if resume is not None else None
+        self.progress = progress
+        self.outcomes: List[CellOutcome] = []
+
+    # ------------------------------------------------------------------ run
+
+    def run(self, cells: Sequence[Cell]) -> Dict[str, Any]:
+        """Execute every cell; return ``{key: value}`` for the whole grid."""
+        keys = [cell.key for cell in cells]
+        if len(set(keys)) != len(keys):
+            raise ConfigurationError("duplicate cell keys in grid")
+        completed = self._load_resume()
+        results: Dict[str, Any] = {}
+        pending: List[Cell] = []
+        for cell in cells:
+            if cell.key in completed:
+                results[cell.key] = completed[cell.key]["value"]
+                self._finish(CellOutcome(
+                    key=cell.key, value=results[cell.key],
+                    seconds=float(completed[cell.key].get("seconds", 0.0)),
+                    cached=True), len(results), len(cells))
+            else:
+                pending.append(cell)
+        if pending:
+            if self.jobs > 1 and len(pending) > 1:
+                self._run_pool(pending, results, completed, len(cells))
+            else:
+                self._run_serial(pending, results, completed, len(cells))
+        return results
+
+    def _run_serial(self, pending: List[Cell], results: Dict[str, Any],
+                    completed: Dict[str, dict], total: int) -> None:
+        for cell in pending:
+            started = time.perf_counter()
+            value = _execute(cell.fn, cell.kwargs)
+            self._record(cell.key, value, time.perf_counter() - started,
+                         results, completed, total)
+
+    def _run_pool(self, pending: List[Cell], results: Dict[str, Any],
+                  completed: Dict[str, dict], total: int) -> None:
+        workers = min(self.jobs, len(pending))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            futures = {pool.submit(_execute, cell.fn, cell.kwargs): cell
+                       for cell in pending}
+            started = time.perf_counter()
+            for future in as_completed(futures):
+                cell = futures[future]
+                # Wall time per cell is not separable inside the pool;
+                # report time-to-completion since submission instead.
+                self._record(cell.key, future.result(),
+                             time.perf_counter() - started,
+                             results, completed, total)
+
+    def _record(self, key: str, value: Any, seconds: float,
+                results: Dict[str, Any], completed: Dict[str, dict],
+                total: int) -> None:
+        results[key] = value
+        completed[key] = {"value": value, "seconds": seconds}
+        self._save_resume(completed)
+        self._finish(CellOutcome(key=key, value=value, seconds=seconds),
+                     len(results), total)
+
+    def _finish(self, outcome: CellOutcome, done: int, total: int) -> None:
+        self.outcomes.append(outcome)
+        if self.progress is not None:
+            self.progress(outcome, done, total)
+
+    # ---------------------------------------------------------------- resume
+
+    def _load_resume(self) -> Dict[str, dict]:
+        if self.resume is None or not self.resume.exists():
+            return {}
+        try:
+            payload = json.loads(self.resume.read_text())
+        except json.JSONDecodeError as exc:
+            # Saves go through a tmp file + atomic replace, so a mangled
+            # file means outside editing; refuse rather than silently
+            # recompute over cached results the user may still want.
+            raise ConfigurationError(
+                f"resume file {self.resume} is not valid JSON: {exc}; "
+                "delete it to start over") from exc
+        return payload.get("cells", {})
+
+    def _save_resume(self, completed: Dict[str, dict]) -> None:
+        if self.resume is None:
+            return
+        self.resume.parent.mkdir(parents=True, exist_ok=True)
+        tmp = self.resume.with_suffix(self.resume.suffix + ".tmp")
+        tmp.write_text(json.dumps({"cells": completed}, sort_keys=True))
+        os.replace(tmp, self.resume)
+
+    # ---------------------------------------------------------------- report
+
+    def report(self) -> str:
+        """Per-cell timing summary of the last :meth:`run`."""
+        if not self.outcomes:
+            return "no cells executed"
+        fresh = [o for o in self.outcomes if not o.cached]
+        cached = len(self.outcomes) - len(fresh)
+        lines = [f"{len(self.outcomes)} cells "
+                 f"({cached} resumed, jobs={self.jobs})"]
+        for outcome in sorted(self.outcomes, key=lambda o: o.key):
+            marker = "cached" if outcome.cached else f"{outcome.seconds:.2f}s"
+            lines.append(f"  {outcome.key:<44s} {marker}")
+        if fresh:
+            slowest = max(fresh, key=lambda o: o.seconds)
+            lines.append(f"  slowest: {slowest.key} "
+                         f"({slowest.seconds:.2f}s)")
+        return "\n".join(lines)
+
+
+def make_runner(jobs: int = 1, resume: Union[None, str, Path] = None,
+                progress: Optional[ProgressFn] = None,
+                runner: Optional[GridRunner] = None) -> GridRunner:
+    """The runner the experiment modules share: reuse *runner* or build one."""
+    return runner if runner is not None else GridRunner(
+        jobs=jobs, resume=resume, progress=progress)

@@ -13,6 +13,7 @@ from typing import Dict, List
 
 from ..traces import BENCHMARKS, benchmark_trace, counts_cov, distribution_cov
 from .common import scaled_parameters
+from .parallel import Cell, make_runner
 from .report import format_table
 
 
@@ -36,20 +37,44 @@ class Table1Result:
     sampled_writes: int
 
 
+def _cell(scale: str, benchmark: str, sample_writes: int,
+          seed: int) -> dict:
+    """One grid cell: calibrate + sample one benchmark trace.
+
+    The trace seed is the experiment seed verbatim (not per-cell derived):
+    the CoV calibration is a measurement of a *fixed* workload, and the
+    measured values must match the paper regardless of grid shape.
+    """
+    params = scaled_parameters(scale)
+    trace = benchmark_trace(benchmark, params.num_blocks, seed=seed)
+    asymptotic = distribution_cov(trace.probabilities)
+    sampled = counts_cov(trace.batch_counts(sample_writes))
+    return {"calibrated": asymptotic, "sampled": sampled}
+
+
+def grid(scale: str, sample_writes: int, seed: int) -> List[Cell]:
+    """One cell per benchmark."""
+    return [Cell(key=f"table1/{scale}/{name}", fn=f"{__name__}:_cell",
+                 kwargs=dict(scale=scale, benchmark=name,
+                             sample_writes=sample_writes, seed=seed))
+            for name in BENCHMARKS]
+
+
 def run(scale: str = "small", sample_writes: int = 2_000_000,
-        seed: int = 9) -> Table1Result:
+        seed: int = 9, jobs: int = 1, resume=None, progress=None,
+        runner=None) -> Table1Result:
     """Build every benchmark trace and measure its CoV."""
     params = scaled_parameters(scale)
-    rows = []
-    for spec in BENCHMARKS.values():
-        trace = benchmark_trace(spec.name, params.num_blocks, seed=seed)
-        asymptotic = distribution_cov(trace.probabilities)
-        counts = trace.batch_counts(sample_writes)
-        sampled = counts_cov(counts)
-        rows.append(Table1Row(name=spec.name, suite=spec.suite,
-                              paper_cov=spec.write_cov,
-                              calibrated_cov=asymptotic,
-                              sampled_cov=sampled))
+    runner = make_runner(jobs=jobs, resume=resume, progress=progress,
+                         runner=runner)
+    values = runner.run(grid(scale, sample_writes, seed))
+    rows = [Table1Row(name=spec.name, suite=spec.suite,
+                      paper_cov=spec.write_cov,
+                      calibrated_cov=values[f"table1/{scale}/{spec.name}"]
+                      ["calibrated"],
+                      sampled_cov=values[f"table1/{scale}/{spec.name}"]
+                      ["sampled"])
+            for spec in BENCHMARKS.values()]
     return Table1Result(rows=rows, virtual_blocks=params.num_blocks,
                         sampled_writes=sample_writes)
 

@@ -19,10 +19,14 @@ from ..mc.cache import RemapCache
 from ..rng import derive_rng
 from ..sim.fast import FastEngine
 from .common import build_engine, build_lls_engine, scaled_parameters
+from .parallel import Cell, cell_seed, make_runner
 from .report import format_table
 
 #: Failure ratios of the paper's rows.
 FAILURE_RATIOS = (0.10, 0.20, 0.30)
+
+#: Extra PCM accesses a cache miss on a failed block costs per system.
+EXTRA_ACCESSES = {"LLS": 2, "WL-Reviver": 1}
 
 
 def measure_access_time(engine: FastEngine, extra_accesses: int,
@@ -80,39 +84,71 @@ class Table2Result:
     cache_entries: int
 
 
+def _cell(scale: str, benchmark: str, system: str, ratio: float,
+          cache_entries: int, samples: int, seed: int) -> dict:
+    """One grid cell: age a chip to *ratio* and measure it (in a worker)."""
+    params = scaled_parameters(scale)
+    if system == "LLS":
+        engine = build_lls_engine(params, benchmark, dead_fraction=ratio,
+                                  stop_on_capacity=False, seed=seed,
+                                  label=f"{benchmark}/LLS@{ratio:.0%}")
+    else:
+        engine = build_engine(params, benchmark, recovery="reviver",
+                              dead_fraction=ratio, stop_on_capacity=False,
+                              seed=seed,
+                              label=f"{benchmark}/WLR@{ratio:.0%}")
+    engine.run()
+    cache = RemapCache(CacheConfig(capacity_entries=cache_entries))
+    return {"access_time": measure_access_time(
+                engine, extra_accesses=EXTRA_ACCESSES[system],
+                samples=samples, cache=cache),
+            "usable": engine._usable_fraction()}
+
+
+def _key(scale: str, ratio: float, system: str, bench: str) -> str:
+    return f"table2/{scale}/{ratio:g}/{system}/{bench}"
+
+
+def grid(scale: str, benchmarks: List[str], ratios: List[float],
+         cache_entries: int, samples: int, seed: int) -> List[Cell]:
+    """The table's (ratio x benchmark x system) grid."""
+    cells = []
+    for ratio in ratios:
+        for bench in benchmarks:
+            for system in ("LLS", "WL-Reviver"):
+                key = _key(scale, ratio, system, bench)
+                cells.append(Cell(
+                    key=key, fn=f"{__name__}:_cell",
+                    kwargs=dict(scale=scale, benchmark=bench, system=system,
+                                ratio=ratio, cache_entries=cache_entries,
+                                samples=samples,
+                                seed=cell_seed(seed, key))))
+    return cells
+
+
 def run(scale: str = "small",
         benchmarks: Optional[List[str]] = None,
         ratios: Optional[List[float]] = None,
         cache_entries: int = 4096,
         samples: int = 200_000,
-        seed: int = 1) -> Table2Result:
+        seed: int = 1, jobs: int = 1, resume=None, progress=None,
+        runner=None) -> Table2Result:
     """Age chips to each failure ratio and measure both systems."""
-    params = scaled_parameters(scale)
     benches = benchmarks if benchmarks is not None else ["mg", "ocean"]
     sweep = ratios if ratios is not None else list(FAILURE_RATIOS)
+    runner = make_runner(jobs=jobs, resume=resume, progress=progress,
+                         runner=runner)
+    values = runner.run(grid(scale, benches, sweep, cache_entries,
+                             samples, seed))
     rows = []
     for ratio in sweep:
         for bench in benches:
-            lls = build_lls_engine(params, bench, dead_fraction=ratio,
-                                   stop_on_capacity=False, seed=seed,
-                                   label=f"{bench}/LLS@{ratio:.0%}")
-            lls.run()
-            cache = RemapCache(CacheConfig(capacity_entries=cache_entries))
-            rows.append(Table2Row(
-                failure_ratio=ratio, system="LLS", benchmark=bench,
-                avg_access_time=measure_access_time(
-                    lls, extra_accesses=2, samples=samples, cache=cache),
-                usable_fraction=lls._usable_fraction()))
-            wlr = build_engine(params, bench, recovery="reviver",
-                               dead_fraction=ratio, stop_on_capacity=False,
-                               seed=seed, label=f"{bench}/WLR@{ratio:.0%}")
-            wlr.run()
-            cache = RemapCache(CacheConfig(capacity_entries=cache_entries))
-            rows.append(Table2Row(
-                failure_ratio=ratio, system="WL-Reviver", benchmark=bench,
-                avg_access_time=measure_access_time(
-                    wlr, extra_accesses=1, samples=samples, cache=cache),
-                usable_fraction=wlr._usable_fraction()))
+            for system in ("LLS", "WL-Reviver"):
+                cell = values[_key(scale, ratio, system, bench)]
+                rows.append(Table2Row(
+                    failure_ratio=ratio, system=system, benchmark=bench,
+                    avg_access_time=cell["access_time"],
+                    usable_fraction=cell["usable"]))
     return Table2Result(rows=rows, scale=scale, cache_entries=cache_entries)
 
 

@@ -155,8 +155,13 @@ class LLSFastEngine(FastEngine):
 
     def _rebuild_redirect(self) -> None:
         self._redirect = np.arange(self.chip.num_blocks, dtype=np.int64)
-        for origin, backup in self.lls.groups.backups.items():
-            self._redirect[origin] = backup
+        backups = self.lls.groups.backups
+        if backups:
+            origins = np.fromiter(backups.keys(), dtype=np.int64,
+                                  count=len(backups))
+            targets = np.fromiter(backups.values(), dtype=np.int64,
+                                  count=len(backups))
+            self._redirect[origins] = targets
 
     def _reserved_fraction(self) -> float:
         return self.lls.reserved_fraction

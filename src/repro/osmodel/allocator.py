@@ -41,12 +41,22 @@ class PagePool:
     consolidation; below 1.0 the remainder forms a free-frame list that
     retirements consume first, which keeps data-consistency accounting
     exact for the tests that need it.
+
+    ``base_pa`` offsets the software space inside the PA range: the pool's
+    pages cover ``[base_pa, base_pa + logical_blocks)`` (schemes that park
+    software memory behind a reserved prefix expose such a window).  It
+    must be page-aligned; page ids remain 0-based relative to the window.
     """
 
     def __init__(self, logical_blocks: int, blocks_per_page: int = 64,
-                 seed: SeedLike = None, utilization: float = 1.0) -> None:
+                 seed: SeedLike = None, utilization: float = 1.0,
+                 base_pa: int = 0) -> None:
         self.logical_blocks = logical_blocks
         self.blocks_per_page = blocks_per_page
+        if base_pa < 0 or base_pa % blocks_per_page:
+            raise AddressError("base_pa must be a non-negative multiple of "
+                               "blocks_per_page")
+        self.base_pa = base_pa
         self.num_pages = logical_blocks // blocks_per_page
         if self.num_pages == 0:
             raise AddressError("logical space smaller than one page")
@@ -83,25 +93,30 @@ class PagePool:
         vpage, offset = divmod(virtual_block, self.blocks_per_page)
         if not 0 <= vpage < self.num_virtual_pages:
             raise AddressError(f"virtual block {virtual_block} out of range")
-        return int(self._virt_to_phys[vpage]) * self.blocks_per_page + offset
+        return (self.base_pa
+                + int(self._virt_to_phys[vpage]) * self.blocks_per_page
+                + offset)
 
     def translate_many(self, virtual_blocks: np.ndarray) -> np.ndarray:
         """Vectorized :meth:`translate`."""
         virtual_blocks = np.asarray(virtual_blocks, dtype=np.int64)
         vpages = virtual_blocks // self.blocks_per_page
         offsets = virtual_blocks % self.blocks_per_page
-        return self._virt_to_phys[vpages] * self.blocks_per_page + offsets
+        return (self.base_pa
+                + self._virt_to_phys[vpages] * self.blocks_per_page
+                + offsets)
 
     def page_of_pa(self, pa: int) -> int:
         """Physical page containing *pa*."""
-        page = pa // self.blocks_per_page
+        page = (pa - self.base_pa) // self.blocks_per_page
         if not 0 <= page < self.num_pages:
             raise AddressError(f"PA {pa} outside the paged software space")
         return page
 
     def pa_in_software_space(self, pa: int) -> bool:
         """Whether *pa* lies inside a complete (pageable) page."""
-        return 0 <= pa < self.num_pages * self.blocks_per_page
+        span = self.num_pages * self.blocks_per_page
+        return self.base_pa <= pa < self.base_pa + span
 
     # -------------------------------------------------------------- retirement
 
@@ -137,7 +152,7 @@ class PagePool:
             self.pages[new_phys].virtual_pages.append(vpage)
             self.last_moves.append((vpage, page_id, new_phys, shared))
         info.virtual_pages = []
-        base = page_id * self.blocks_per_page
+        base = self.base_pa + page_id * self.blocks_per_page
         return list(range(base, base + self.blocks_per_page))
 
     def relocate(self, page_id: int) -> List[tuple]:

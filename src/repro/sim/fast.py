@@ -26,7 +26,16 @@ Documented approximations relative to :class:`~repro.sim.engine.ExactEngine`
 * inverse-pointer metadata wear is ignored (a handful of writes per page
   acquisition versus millions of data writes);
 * the victim page for a delayed acquisition is sampled from the epoch's
-  write distribution instead of being literally the next write.
+  write distribution instead of being literally the next write;
+* when several software streams share one final block (a healthy block
+  that is simultaneously an identity target and a redirect target) and
+  that block dies mid-epoch, the clawed-back overshoot is re-issued to
+  *every* contributing stream in proportion to its round traffic rather
+  than serialized write-by-write.
+
+The failure hot path (overshoot clawback, redirect-table rebuild, baseline
+page retirement) is vectorized with numpy; the redirect rebuild follows
+link chains by iterative pointer-jumping instead of per-key dict walks.
 """
 
 from __future__ import annotations
@@ -156,9 +165,10 @@ class FastEngine:
                                     budget - self.total_writes)))
             except CapacityExhaustedError as exc:
                 self.stopped_reason = f"exhausted: {exc}"
+                # The partial epoch changed state since the last sample.
+                self._sample()
                 break
             self._sample()
-        self._sample()
         return LifetimeSummary.from_series(
             self.series, os_reports=self.reporter.report_count)
 
@@ -218,14 +228,26 @@ class FastEngine:
             self._redirected_traffic += int(remaining[live_idx][
                 finals[live_idx] != das[live_idx]].sum())
             # Traffic past a dying block's threshold re-routes next round.
-            overshoot = self._collect_overshoot(newly)
+            over_blocks, over_counts = self._collect_overshoot(newly)
             self._process_failures(newly)
             retry = np.zeros(len(virtual), dtype=bool)
-            final_to_index = {int(f): i for i, f in enumerate(finals)}
-            for block, over in overshoot:
-                index = final_to_index[block]
-                remaining[index] = over
-                retry[index] = True
+            for block, over in zip(over_blocks.tolist(),
+                                   over_counts.tolist()):
+                # A healthy block can be several streams' final target at
+                # once (its own identity plus redirect chains ending on
+                # it); every such stream contributed wear, so the clawed-
+                # back overshoot is split among them in proportion to what
+                # each sent this round.
+                idxs = np.nonzero(finals == block)[0]
+                sent = remaining[idxs]
+                total = int(sent.sum())
+                share = sent * over // total
+                deficit = over - int(share.sum())
+                if deficit:
+                    order = np.argsort(-sent, kind="stable")
+                    share[order[:deficit]] += 1
+                remaining[idxs] = share
+                retry[idxs] = share > 0
             if exposed.any():
                 if self.config.recovery == "reviver":
                     # Theorem 1: software traffic never reaches a dead
@@ -254,20 +276,23 @@ class FastEngine:
         # account it rather than looping forever.
         self.dropped_writes += int(remaining.sum())
 
-    def _collect_overshoot(self, newly: np.ndarray) -> list:
+    def _collect_overshoot(self, newly: np.ndarray) -> tuple:
         """Wear past the threshold of each newly dead block, clawed back.
 
-        Returns ``(block, overshoot)`` pairs and resets each dead block's
-        counter to its threshold so the excess is not double-counted.
+        Returns ``(blocks, overshoots)`` int64 arrays and resets each dead
+        block's counter to its threshold so the excess is not
+        double-counted.  Fully vectorized (clip + subtract over the
+        ``newly`` array) — this runs once per re-issue round in the
+        late-life regime where most blocks are dying.
         """
-        pairs = []
-        thresholds = self.chip.ecc.thresholds
-        for block in newly.tolist():
-            over = int(self.chip.wear[block] - thresholds[block])
-            if over > 0:
-                self.chip.wear[block] = thresholds[block]
-                pairs.append((block, over))
-        return pairs
+        if newly.size == 0:
+            return newly, newly
+        thresholds = self.chip.ecc.thresholds[newly]
+        over = self.chip.wear[newly] - thresholds
+        hot = over > 0
+        blocks = newly[hot]
+        self.chip.wear[blocks] = thresholds[hot]
+        return blocks, over[hot]
 
     def _advance_wear_leveling(self) -> None:
         if self.wl.frozen:
@@ -288,14 +313,42 @@ class FastEngine:
 
     def _process_failures(self, newly: np.ndarray,
                           migration: bool = False) -> None:
+        if newly.size == 0:
+            return
         mode = self.config.recovery
-        for da in newly.tolist():
-            if mode == "reviver":
+        if mode == "reviver":
+            # Each failure may acquire a page or consume a spare, and the
+            # choice depends on the bookkeeping left by the previous one:
+            # inherently sequential.
+            for da in newly.tolist():
                 self._reviver_failure(int(da))
-            elif mode == "freep":
+        elif mode == "freep":
+            for da in newly.tolist():
                 self._freep_failure(int(da))
-            else:
-                self._baseline_failure(int(da))
+        else:
+            self._baseline_failures(newly)
+
+    def _baseline_failures(self, newly: np.ndarray) -> None:
+        """Batched no-recovery failure handling, grouped per OS page.
+
+        All failures of the batch freeze the scheme once and are counted
+        at once; page retirement is issued once per distinct affected page
+        (retiring a page already covers every failure inside it).
+        """
+        if not self.wl.frozen:
+            self.wl.freeze()
+        self.exposed_failures += int(newly.size)
+        retired_pages = set()
+        for da in newly.tolist():
+            pa = self.wl.inverse(int(da))
+            if pa is None or not self.ospool.pa_in_software_space(pa):
+                continue  # unmapped (gap line) or tail slack
+            page = self.ospool.page_of_pa(pa)
+            if page in retired_pages:
+                continue
+            if self.ospool.is_usable(page):
+                retired_pages.add(page)
+                self.reporter.report(pa, self.total_writes)
 
     def _baseline_failure(self, da: int) -> None:
         """No recovery: the scheme freezes and the OS loses a page.
@@ -365,7 +418,7 @@ class FastEngine:
         """
         mapped_by = self.wl.inverse(failed_da)
         if mapped_by is not None and self.ospool.pa_in_software_space(mapped_by):
-            if self.ospool.is_usable(mapped_by // self.ospool.blocks_per_page):
+            if self.ospool.is_usable(self.ospool.page_of_pa(mapped_by)):
                 return mapped_by
         counts = self._epoch_counts
         if counts is not None and counts.sum() > 0:
@@ -378,12 +431,24 @@ class FastEngine:
     # -------------------------------------------------------------- redirect
 
     def _rebuild_redirect(self) -> None:
-        """Recompute the failed-block redirect table for the current maps."""
-        self._redirect = np.arange(self.chip.num_blocks, dtype=np.int64)
+        """Recompute the failed-block redirect table for the current maps.
+
+        Chains are followed by iterative numpy pointer-jumping over the
+        link arrays: all cursors advance in lockstep until each rests on a
+        non-link block, or has walked ``len(links)`` hops — long enough to
+        prove it is trapped in a loop.
+        """
+        num_blocks = self.chip.num_blocks
+        self._redirect = np.arange(num_blocks, dtype=np.int64)
         mode = self.config.recovery
         if mode == "freep" and self.region is not None:
-            for origin, slot in self.region.links.items():
-                self._redirect[origin] = slot
+            links = self.region.links
+            if links:
+                origins = np.fromiter(links.keys(), dtype=np.int64,
+                                      count=len(links))
+                slots = np.fromiter(links.values(), dtype=np.int64,
+                                    count=len(links))
+                self._redirect[origins] = slots
             return
         if mode != "reviver" or not self.links:
             return
@@ -392,17 +457,22 @@ class FastEngine:
         vpas = np.fromiter(self.links.values(), dtype=np.int64,
                            count=len(self.links))
         shadows = self.wl.map_many(vpas)
-        targets = dict(zip(failed_das.tolist(), shadows.tolist()))
-        for da in failed_das.tolist():
-            final = da
-            seen = set()
-            cursor = da
-            while cursor in targets and cursor not in seen:
-                seen.add(cursor)
-                cursor = targets[cursor]
-            # cursor is healthy, or the walk closed a loop (garbage data).
-            final = cursor if not self.chip.failed[cursor] else da
-            self._redirect[da] = final
+        next_da = np.arange(num_blocks, dtype=np.int64)
+        next_da[failed_das] = shadows
+        is_link = np.zeros(num_blocks, dtype=bool)
+        is_link[failed_das] = True
+        cursor = shadows.copy()
+        active = np.nonzero(is_link[cursor])[0]
+        for _ in range(len(failed_das)):
+            if active.size == 0:
+                break
+            cursor[active] = next_da[cursor[active]]
+            active = active[is_link[cursor[active]]]
+        # A cursor resting on a failed block walked a chain that closed a
+        # loop or dead-ends on an unrecovered shadow: garbage data, no
+        # redirection.  Everything else found its healthy final block.
+        final = np.where(self.chip.failed[cursor], failed_das, cursor)
+        self._redirect[failed_das] = final
 
     # --------------------------------------------------------------- metrics
 

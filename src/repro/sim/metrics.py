@@ -87,6 +87,25 @@ class LifetimeSeries:
             return SamplePoint(0, 1.0, 1.0)
         return self.points[index]
 
+    # ------------------------------------------------------------- transport
+
+    def to_payload(self) -> dict:
+        """Plain-data form (JSON-safe) for cross-process transport."""
+        return {"writes": [p.writes for p in self.points],
+                "survival": [p.survival for p in self.points],
+                "usable": [p.usable for p in self.points],
+                "avg_access": [p.avg_access for p in self.points]}
+
+    @classmethod
+    def from_payload(cls, payload: dict, label: str = "") -> "LifetimeSeries":
+        """Rebuild a series from :meth:`to_payload` output."""
+        points = [SamplePoint(int(w), float(s), float(u), float(a))
+                  for w, s, u, a in zip(payload["writes"],
+                                        payload["survival"],
+                                        payload["usable"],
+                                        payload["avg_access"])]
+        return cls(label=label, points=points)
+
     def trimmed(self, min_survival: float) -> "LifetimeSeries":
         """Copy containing only samples with survival >= *min_survival*.
 

@@ -5,12 +5,26 @@ import pytest
 
 from repro.config import StartGapConfig
 from repro.ecc import ECP, FreePRegion
+from repro.osmodel.allocator import PagePool
 from repro.pcm import AddressGeometry, EnduranceModel, PCMChip
 from repro.sim import ExactEngine, FastConfig, FastEngine
 from repro.traces import hotspot_distribution
 from repro.wl import NoWL, StartGap
 
 from .conftest import make_reviver_system
+
+
+class FixedECC:
+    """ECC stub with hand-picked thresholds and no extension."""
+
+    def __init__(self, thresholds):
+        self.thresholds = np.asarray(thresholds, dtype=np.int64)
+
+    def threshold(self, da):
+        return int(self.thresholds[da])
+
+    def try_extend(self, da):
+        return False
 
 
 def make_fast(recovery: str = "reviver", num_blocks: int = 512,
@@ -156,6 +170,208 @@ class TestFastEngine:
         assert summary.lifetime_writes > 0
 
 
+class TestFastEngineRegressions:
+    """Dedicated regressions for the three fast-engine bugfixes."""
+
+    def test_victim_pa_with_offset_software_space(self):
+        """The victim page must come from ``page_of_pa``, not raw division.
+
+        With a software space parked behind a reserved PA prefix, the raw
+        ``pa // blocks_per_page`` page id points outside the pool (the old
+        code inspected the wrong page).
+        """
+        geometry = AddressGeometry(num_blocks=64, block_bytes=64,
+                                   page_bytes=512)
+        endurance = EnduranceModel(num_blocks=64, mean=300, cov=0.2,
+                                   max_order=8, seed=3)
+        chip = PCMChip(geometry, ECP(endurance, 1))
+        trace = hotspot_distribution(64, 2.0, seed=3)
+        engine = FastEngine(chip, NoWL(64), trace,
+                            FastConfig(recovery="reviver",
+                                       blocks_per_page=8, seed=3))
+        # Software window [32, 64): 4 pages of 8 blocks behind a reserved
+        # 32-block prefix.
+        engine.ospool = PagePool(32, blocks_per_page=8, seed=3, base_pa=32)
+        # NoWL inverse is the identity: the failed DA 36 is mapped by PA 36,
+        # which lives in (usable) page 0 of the offset window.
+        assert engine._victim_pa(36) == 36
+
+    def test_overshoot_collision_reissues_every_stream(self):
+        """Two streams sharing a dying final block both get their excess back.
+
+        The old ``final_to_index`` dict kept only the last index, crediting
+        the whole clawed-back overshoot to one virtual stream.
+        """
+        thresholds = np.full(16, 1000)
+        thresholds[5] = 10
+        geometry = AddressGeometry(num_blocks=16, block_bytes=64,
+                                   page_bytes=256)
+        chip = PCMChip(geometry, FixedECC(thresholds))
+        trace = hotspot_distribution(16, 2.0, seed=1)
+        engine = FastEngine(chip, NoWL(16), trace,
+                            FastConfig(recovery="none", blocks_per_page=4,
+                                       batch_writes=100, seed=1))
+        engine._process_failures = lambda newly, migration=False: None
+        rebuilds = []
+
+        def rigged_rebuild():
+            redirect = np.arange(16, dtype=np.int64)
+            if not rebuilds:
+                # Round 1: both streams' finals collide on block 5.
+                redirect[0] = redirect[1] = 5
+            else:
+                # Re-issue rounds: the streams separate again.
+                redirect[0], redirect[1] = 2, 3
+            rebuilds.append(1)
+            engine._redirect = redirect
+
+        engine._rebuild_redirect = rigged_rebuild
+        rigged_rebuild()
+        counts = np.zeros(16, dtype=np.int64)
+        counts[0] = counts[1] = 8
+        engine._apply_software(counts)
+        # Block 5 died at wear 10; the 6 overshoot writes must be split 3/3
+        # between the two contributing streams, not 6/0 to the last one.
+        assert chip.failed[5] and chip.wear[5] == 10
+        assert chip.wear[2] == 3
+        assert chip.wear[3] == 3
+
+    def test_overshoot_collision_splits_proportionally(self):
+        """Unequal contributions claw back proportional shares."""
+        thresholds = np.full(16, 1000)
+        thresholds[5] = 10
+        geometry = AddressGeometry(num_blocks=16, block_bytes=64,
+                                   page_bytes=256)
+        chip = PCMChip(geometry, FixedECC(thresholds))
+        trace = hotspot_distribution(16, 2.0, seed=1)
+        engine = FastEngine(chip, NoWL(16), trace,
+                            FastConfig(recovery="none", blocks_per_page=4,
+                                       batch_writes=100, seed=1))
+        engine._process_failures = lambda newly, migration=False: None
+        rebuilds = []
+
+        def rigged_rebuild():
+            redirect = np.arange(16, dtype=np.int64)
+            if not rebuilds:
+                redirect[0] = redirect[1] = 5
+            else:
+                redirect[0], redirect[1] = 2, 3
+            rebuilds.append(1)
+            engine._redirect = redirect
+
+        engine._rebuild_redirect = rigged_rebuild
+        rigged_rebuild()
+        counts = np.zeros(16, dtype=np.int64)
+        counts[0], counts[1] = 18, 6  # 24 sent, 14 overshoot
+        engine._apply_software(counts)
+        assert chip.wear[5] == 10
+        # Proportional split of 14: floor gives (10, 3); the deficit of 1
+        # goes to the largest contributor.
+        assert chip.wear[2] == 11
+        assert chip.wear[3] == 3
+        # Nothing lost: every issued write landed somewhere.
+        assert int(chip.wear.sum()) == 24
+
+    def test_no_duplicate_terminal_sample(self):
+        """The series must sample each state exactly once."""
+        engine = make_fast("reviver")
+        engine.run()
+        writes = [p.writes for p in engine.series.points]
+        assert writes == sorted(set(writes)), "duplicate sample writes"
+        assert engine.series.points[-1] != engine.series.points[-2]
+
+    def test_no_duplicate_sample_on_immediate_stop(self):
+        engine = make_fast("reviver", mean=100_000)
+        engine.config.max_writes = 0
+        engine.run()
+        assert len(engine.series.points) == 1
+
+
+class TestRedirectRebuild:
+    """The vectorized redirect rebuild against chain/loop semantics."""
+
+    @staticmethod
+    def _reference(num_blocks, links, shadow_of, failed):
+        """The pre-vectorization per-key dict walk, as ground truth."""
+        redirect = np.arange(num_blocks, dtype=np.int64)
+        targets = {da: shadow_of[da] for da in links}
+        for da in links:
+            seen = set()
+            cursor = da
+            while cursor in targets and cursor not in seen:
+                seen.add(cursor)
+                cursor = targets[cursor]
+            redirect[da] = cursor if not failed[cursor] else da
+        return redirect
+
+    def _engine(self, num_blocks=64):
+        geometry = AddressGeometry(num_blocks=num_blocks, block_bytes=64,
+                                   page_bytes=512)
+        endurance = EnduranceModel(num_blocks=num_blocks, mean=300, cov=0.2,
+                                   max_order=8, seed=3)
+        chip = PCMChip(geometry, ECP(endurance, 1))
+        trace = hotspot_distribution(num_blocks, 2.0, seed=3)
+        return FastEngine(chip, NoWL(num_blocks), trace,
+                          FastConfig(recovery="reviver", blocks_per_page=8,
+                                     seed=3))
+
+    def _rig(self, engine, links, shadow_map, failed_extra=()):
+        engine.links = dict(links)
+        engine.chip.failed[:] = False
+        for da in list(links) + list(failed_extra):
+            engine.chip.failed[da] = True
+        engine.wl.map_many = lambda vpas: np.asarray(
+            [shadow_map[int(v)] for v in vpas], dtype=np.int64)
+
+    def test_chains_sharing_a_shadow(self):
+        """Two failed DAs whose chains end on the same healthy block."""
+        engine = self._engine()
+        # a's shadow currently sits on failed b; b's shadow sits on healthy
+        # c — both chains must resolve to c.
+        a, b, c = 10, 20, 30
+        self._rig(engine, {a: 100, b: 101}, {100: b, 101: c})
+        engine._rebuild_redirect()
+        assert engine._redirect[a] == c
+        assert engine._redirect[b] == c
+
+    def test_loop_stays_unredirected(self):
+        engine = self._engine()
+        a, b = 10, 20
+        self._rig(engine, {a: 100, b: 101}, {100: b, 101: a})
+        engine._rebuild_redirect()
+        assert engine._redirect[a] == a
+        assert engine._redirect[b] == b
+
+    def test_chain_onto_unlinked_dead_block_stays_unredirected(self):
+        engine = self._engine()
+        a, dead = 10, 40
+        self._rig(engine, {a: 100}, {100: dead}, failed_extra=[dead])
+        engine._rebuild_redirect()
+        assert engine._redirect[a] == a
+
+    def test_fuzz_matches_reference_walk(self):
+        rng = np.random.default_rng(42)
+        for _ in range(25):
+            engine = self._engine(num_blocks=96)
+            count = int(rng.integers(1, 40))
+            failed_das = rng.choice(96, size=count, replace=False)
+            vpas = {int(da): 1000 + i
+                    for i, da in enumerate(failed_das.tolist())}
+            # Shadows point anywhere, including other failed DAs (chains)
+            # and occasionally each other (loops).
+            shadow_map = {vpas[da]: int(rng.integers(0, 96)) for da in vpas}
+            engine.links = dict(vpas)
+            engine.chip.failed[:] = False
+            engine.chip.failed[failed_das] = True
+            shadow_of = {da: shadow_map[vpas[da]] for da in vpas}
+            engine.wl.map_many = lambda v, m=shadow_map: np.asarray(
+                [m[int(x)] for x in v], dtype=np.int64)
+            engine._rebuild_redirect()
+            expected = self._reference(96, engine.links, shadow_of,
+                                       engine.chip.failed)
+            np.testing.assert_array_equal(engine._redirect, expected)
+
+
 class TestEngineAgreement:
     """The fast engine must reproduce the exact engine's lifetime shape."""
 
@@ -183,6 +399,56 @@ class TestEngineAgreement:
                                      blocks_per_page=8, dead_fraction=0.25,
                                      seed=6))
         fast_summary = fast.run()
+        ratio = (fast_summary.lifetime_writes
+                 / max(exact_summary.lifetime_writes, 1))
+        assert 0.4 < ratio < 2.5, (exact_summary, fast_summary)
+
+    def test_agreement_under_collision_heavy_failures(self):
+        """Agreement must hold when redirect chains share shadows.
+
+        Weak endurance plus a very hot trace makes failed blocks pile up
+        fast enough that several link chains resolve to the same final
+        block in one rebuild — the path the old ``final_to_index`` dict
+        silently mis-credited.  The instrumented rebuild asserts the
+        collision path actually ran.
+        """
+        controller, chip, _, _ = make_reviver_system(
+            num_blocks=128, mean=150, utilization=1.0,
+            check_invariants=False)
+        trace = hotspot_distribution(controller.ospool.virtual_blocks,
+                                     6.0, seed=6)
+        exact = ExactEngine(controller, trace, dead_fraction=0.3,
+                            sample_interval=500)
+        exact_summary = exact.run(max_writes=200_000)
+
+        geometry = AddressGeometry(num_blocks=128, block_bytes=64,
+                                   page_bytes=512)
+        endurance = EnduranceModel(num_blocks=128, mean=150, cov=0.25,
+                                   max_order=8, seed=11)
+        chip2 = PCMChip(geometry, ECP(endurance, 1))
+        fast = FastEngine(chip2, StartGap(128),
+                          hotspot_distribution(127, 6.0, seed=6),
+                          FastConfig(recovery="reviver", batch_writes=200,
+                                     blocks_per_page=8, dead_fraction=0.3,
+                                     seed=6))
+        rebuild = fast._rebuild_redirect
+        collisions = []
+
+        def instrumented():
+            rebuild()
+            if len(fast.links) < 2:
+                return
+            links = np.fromiter(fast.links.keys(), dtype=np.int64,
+                                count=len(fast.links))
+            finals = fast._redirect[links]
+            redirected = finals[finals != links]
+            if redirected.size > np.unique(redirected).size:
+                collisions.append(redirected.size)
+
+        fast._rebuild_redirect = instrumented
+        fast_summary = fast.run()
+        assert collisions, "run never exercised the shared-shadow path"
+        assert len(fast.links) >= 2
         ratio = (fast_summary.lifetime_writes
                  / max(exact_summary.lifetime_writes, 1))
         assert 0.4 < ratio < 2.5, (exact_summary, fast_summary)

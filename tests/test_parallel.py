@@ -1,0 +1,137 @@
+"""Tests for the parallel experiment-execution layer."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments import fig5
+from repro.experiments.parallel import (
+    Cell,
+    GridRunner,
+    cell_seed,
+    jsonify,
+)
+from repro.sim.metrics import LifetimeSeries, SamplePoint
+
+
+def _square(value, seed):
+    """Module-level cell function (workers re-import this module)."""
+    return {"square": value * value, "seed": seed}
+
+
+def _grid(count=4, seed=7):
+    cells = []
+    for i in range(count):
+        key = f"unit/{i}"
+        cells.append(Cell(key=key, fn=f"{__name__}:_square",
+                          kwargs=dict(value=i, seed=cell_seed(seed, key))))
+    return cells
+
+
+class TestCellSeed:
+    def test_deterministic(self):
+        assert cell_seed(1, "fig5/tiny/ocean") == cell_seed(
+            1, "fig5/tiny/ocean")
+
+    def test_distinct_per_key_and_seed(self):
+        seeds = {cell_seed(s, k) for s in (1, 2)
+                 for k in ("a", "b", "c")}
+        assert len(seeds) == 6
+
+
+class TestJsonify:
+    def test_numpy_scalars_and_arrays(self):
+        payload = jsonify({"a": np.int64(3), "b": np.float64(0.5),
+                           "c": np.arange(3), "d": [np.bool_(True)],
+                           "e": ("x", np.int32(1))})
+        assert json.loads(json.dumps(payload)) == {
+            "a": 3, "b": 0.5, "c": [0, 1, 2], "d": [True], "e": ["x", 1]}
+
+
+class TestGridRunner:
+    def test_rejects_bad_jobs(self):
+        with pytest.raises(ConfigurationError):
+            GridRunner(jobs=0)
+
+    def test_rejects_duplicate_keys(self):
+        cell = _grid(1)[0]
+        with pytest.raises(ConfigurationError):
+            GridRunner().run([cell, cell])
+
+    def test_serial_results(self):
+        results = GridRunner(jobs=1).run(_grid())
+        assert results["unit/3"]["square"] == 9
+
+    def test_pool_matches_serial(self):
+        serial = GridRunner(jobs=1).run(_grid())
+        pooled = GridRunner(jobs=2).run(_grid())
+        assert serial == pooled
+
+    def test_progress_callback_sees_every_cell(self):
+        seen = []
+        runner = GridRunner(
+            jobs=1, progress=lambda o, done, total: seen.append(
+                (o.key, done, total)))
+        runner.run(_grid(3))
+        assert [s[0] for s in seen] == ["unit/0", "unit/1", "unit/2"]
+        assert seen[-1][1:] == (3, 3)
+
+    def test_report_mentions_cells(self):
+        runner = GridRunner(jobs=1)
+        runner.run(_grid(2))
+        text = runner.report()
+        assert "2 cells" in text and "unit/1" in text
+
+    def test_resume_skips_completed_cells(self, tmp_path):
+        resume = tmp_path / "cells.json"
+        GridRunner(jobs=1, resume=resume).run(_grid())
+        payload = json.loads(resume.read_text())
+        assert set(payload["cells"]) == {f"unit/{i}" for i in range(4)}
+        # Poison one cached value: a resumed run must take it verbatim,
+        # proving the cell was skipped, not re-executed.
+        payload["cells"]["unit/2"]["value"] = {"square": -1, "seed": 0}
+        resume.write_text(json.dumps(payload))
+        runner = GridRunner(jobs=1, resume=resume)
+        results = runner.run(_grid())
+        assert results["unit/2"]["square"] == -1
+        assert all(o.cached for o in runner.outcomes)
+
+    def test_resume_completes_partial_run(self, tmp_path):
+        resume = tmp_path / "cells.json"
+        GridRunner(jobs=1, resume=resume).run(_grid(2))
+        runner = GridRunner(jobs=1, resume=resume)
+        results = runner.run(_grid(4))
+        assert len(results) == 4
+        cached = {o.key for o in runner.outcomes if o.cached}
+        assert cached == {"unit/0", "unit/1"}
+
+
+class TestSeriesPayload:
+    def test_round_trip(self):
+        series = LifetimeSeries(label="x", points=[
+            SamplePoint(0, 1.0, 1.0, 1.0),
+            SamplePoint(500, 0.9, 0.8, 1.25)])
+        rebuilt = LifetimeSeries.from_payload(series.to_payload(), label="x")
+        assert rebuilt == series
+
+
+class TestExperimentDeterminism:
+    """The parallel runner must reproduce the serial runner bit-for-bit."""
+
+    def test_fig5_parallel_matches_serial_exactly(self):
+        serial = fig5.as_dict(fig5.run(scale="tiny",
+                                       benchmarks=["ocean", "mg"],
+                                       seed=1, jobs=1))
+        pooled = fig5.as_dict(fig5.run(scale="tiny",
+                                       benchmarks=["ocean", "mg"],
+                                       seed=1, jobs=2))
+        assert serial == pooled
+
+    def test_fig5_seed_changes_results_deterministically(self):
+        one = fig5.as_dict(fig5.run(scale="tiny", benchmarks=["ocean"],
+                                    seed=1))
+        again = fig5.as_dict(fig5.run(scale="tiny", benchmarks=["ocean"],
+                                      seed=1))
+        assert one == again
