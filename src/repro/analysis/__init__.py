@@ -1,0 +1,40 @@
+"""Codebase-specific static analysis for the WL-Reviver reproduction.
+
+Every rule in :mod:`repro.analysis.rules` bans a bug class that actually
+shipped (and was fixed in a past PR) or that silently breaks a guarantee the
+package documents:
+
+* **RAW-GEOM** — raw ``blocks_per_page`` address arithmetic outside the
+  geometry owners (:mod:`repro.pcm.geometry`, :mod:`repro.osmodel.allocator`,
+  :mod:`repro.units`).
+* **RNG-DET** — module-level ``np.random.*`` / stdlib ``random`` instead of
+  seeded :class:`numpy.random.Generator` streams from :mod:`repro.rng`.
+* **LINK-MUT** — mutation of :class:`~repro.reviver.links.LinkTable` /
+  :class:`~repro.reviver.registers.SparePool` internals from outside
+  :mod:`repro.reviver`.
+* **EXC-SWALLOW** — bare or over-broad ``except`` clauses that can eat
+  :class:`~repro.errors.ProtocolError`.
+* **FLOAT-EQ** — float equality comparisons in metrics and experiment code.
+
+Run it with ``python -m repro.analysis src`` (exit code 0 = clean, 1 =
+findings, 2 = usage error).  A finding is silenced by a same-line
+``# repro: allow(RULE-ID): justification`` comment, or file-wide with
+``# repro: allow-file(RULE-ID): justification``.
+"""
+
+from __future__ import annotations
+
+from .core import Finding, Rule, SourceFile
+from .registry import all_rules, get_rule, rule_ids
+from .runner import lint_paths, lint_source
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "SourceFile",
+    "all_rules",
+    "get_rule",
+    "rule_ids",
+    "lint_paths",
+    "lint_source",
+]

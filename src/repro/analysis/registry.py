@@ -1,0 +1,48 @@
+"""Rule registry: rules self-register at import via the decorator."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from ..errors import ConfigurationError
+from .core import Rule
+
+_RULES: Dict[str, Rule] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: instantiate and register a rule by its id."""
+    rule = cls()
+    if not rule.id:
+        raise ConfigurationError(f"rule {cls.__name__} has no id")
+    if rule.id in _RULES:
+        raise ConfigurationError(f"duplicate rule id {rule.id}")
+    _RULES[rule.id] = rule
+    return cls
+
+
+def _ensure_loaded() -> None:
+    # Importing the rules package triggers every @register decorator.
+    from . import rules  # noqa: F401  (import-for-side-effect)
+
+
+def all_rules() -> List[Rule]:
+    """Every registered rule, sorted by id."""
+    _ensure_loaded()
+    return [_RULES[rule_id] for rule_id in sorted(_RULES)]
+
+
+def rule_ids() -> List[str]:
+    """Sorted ids of every registered rule."""
+    _ensure_loaded()
+    return sorted(_RULES)
+
+
+def get_rule(rule_id: str) -> Rule:
+    """Look a rule up by id (case-insensitive); raise on unknown ids."""
+    _ensure_loaded()
+    key = rule_id.upper()
+    if key not in _RULES:
+        known = ", ".join(sorted(_RULES))
+        raise ConfigurationError(f"unknown rule {rule_id!r} (known: {known})")
+    return _RULES[key]

@@ -1,0 +1,12 @@
+"""Rule modules; importing this package registers every rule.
+
+Each module owns one rule and its fixtures live in
+``tests/test_analysis_rules.py``: a rule only exists here because the bug
+class it bans either shipped in a past PR or breaks a documented guarantee.
+"""
+
+from __future__ import annotations
+
+from . import exc_swallow, float_eq, link_mut, raw_geom, rng_det
+
+__all__ = ["exc_swallow", "float_eq", "link_mut", "raw_geom", "rng_det"]

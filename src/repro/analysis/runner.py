@@ -1,0 +1,64 @@
+"""File discovery and rule execution.
+
+``lint_source`` is the single entry point tests and the CLI share: parse,
+run every applicable rule, then apply suppressions.  Two framework-level
+findings exist outside the rule registry: ``PARSE`` (a file that does not
+parse cannot be certified clean) and ``ALLOW-REASON`` (a suppression comment
+without a justification).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, List, Optional, Sequence
+
+from .core import Finding, Rule, SourceFile
+from .registry import all_rules
+
+
+def iter_python_files(paths: Sequence[Path]) -> List[Path]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    files: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            files.extend(sorted(path.rglob("*.py")))
+        else:
+            files.append(path)
+    return files
+
+
+def lint_source(text: str, path: Path,
+                rules: Optional[Iterable[Rule]] = None) -> List[Finding]:
+    """Lint one module's source; returns findings sorted by position."""
+    selected = list(rules) if rules is not None else all_rules()
+    try:
+        src = SourceFile(path, text)
+    except SyntaxError as exc:
+        return [Finding(rule="PARSE", path=path.as_posix(),
+                        line=exc.lineno or 1, col=(exc.offset or 1) - 1,
+                        message=f"file does not parse: {exc.msg}")]
+    findings: List[Finding] = []
+    for rule in selected:
+        if not rule.applies_to(src):
+            continue
+        findings.extend(
+            finding for finding in rule.check(src)
+            if not src.suppressions.is_suppressed(rule.id, finding.line))
+    for line, col in src.suppressions.missing_reason:
+        findings.append(Finding(
+            rule="ALLOW-REASON", path=src.posix, line=line, col=col,
+            message="suppression without a justification; write "
+                    "`# repro: allow(RULE): why this is safe here`"))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    return findings
+
+
+def lint_paths(paths: Sequence[Path],
+               rules: Optional[Iterable[Rule]] = None) -> List[Finding]:
+    """Lint every python file under *paths*; findings sorted by location."""
+    selected = list(rules) if rules is not None else all_rules()
+    findings: List[Finding] = []
+    for path in iter_python_files(paths):
+        findings.extend(lint_source(path.read_text(encoding="utf-8"),
+                                    path, selected))
+    return findings

@@ -29,6 +29,8 @@ from .units import (
     DEFAULT_PAGE_BYTES,
     GIB,
     blocks_per_page,
+    is_page_aligned,
+    page_count,
 )
 
 
@@ -65,7 +67,7 @@ class PCMConfig:
             raise ConfigurationError("endurance_cov must be in [0, 1)")
         if self.cells_per_block <= 0:
             raise ConfigurationError("cells_per_block must be positive")
-        if self.num_blocks % self.blocks_per_page:
+        if not is_page_aligned(self.num_blocks, self.blocks_per_page):
             raise ConfigurationError(
                 "num_blocks must be a whole number of pages "
                 f"({self.blocks_per_page} blocks/page)")
@@ -78,7 +80,7 @@ class PCMConfig:
     @property
     def num_pages(self) -> int:
         """Number of OS pages covering the chip."""
-        return self.num_blocks // self.blocks_per_page
+        return page_count(self.num_blocks, self.blocks_per_page)
 
     @property
     def capacity_bytes(self) -> int:

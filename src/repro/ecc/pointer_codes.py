@@ -42,7 +42,8 @@ class StuckAtBlock:
     are silently lost, exactly the hardware behaviour the codes fight.
     """
 
-    def __init__(self, cells: int = 512, stuck: Optional[Dict[int, int]] = None):
+    def __init__(self, cells: int = 512,
+                 stuck: Optional[Dict[int, int]] = None) -> None:
         if cells <= 0:
             raise ConfigurationError("cells must be positive")
         self.cells = cells

@@ -14,7 +14,8 @@ as the numbered experiments (``run``/``render``/``as_dict``; CLI name
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
 from ..config import StartGapConfig
 from ..sim import FastConfig, FastEngine
@@ -23,7 +24,7 @@ from ..traces.base import DistributionTrace
 from ..traces.synthetic import hotspot_distribution
 from ..wl import StartGap
 from .common import ScaledParameters, build_chip, scaled_parameters
-from .parallel import Cell, cell_seed, make_runner
+from .parallel import Cell, GridRunner, ProgressFn, cell_seed, make_runner
 from .report import format_number, format_table
 
 #: CLI names of the adversarial streams, in report order.
@@ -99,8 +100,10 @@ def grid(scale: str, seed: int) -> List[Cell]:
 
 
 def run(scale: str = "small", benchmarks: Optional[List[str]] = None,
-        seed: int = 1, jobs: int = 1, resume=None, progress=None,
-        runner=None) -> AttackResult:
+        seed: int = 1, jobs: int = 1,
+        resume: Union[None, str, Path] = None,
+        progress: Optional[ProgressFn] = None,
+        runner: Optional[GridRunner] = None) -> AttackResult:
     """Measure both systems' lifetimes under each attack stream.
 
     ``benchmarks`` is accepted for CLI uniformity and ignored: attack

@@ -14,11 +14,12 @@ same system revived by the framework ("ECP6-SG-WLR").  Expected shape:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
 from ..traces import BENCHMARKS
 from .common import build_engine, scaled_parameters
-from .parallel import Cell, cell_seed, make_runner
+from .parallel import Cell, GridRunner, ProgressFn, cell_seed, make_runner
 from .report import format_number, format_table
 
 #: The two systems of the figure's bar pairs.
@@ -76,8 +77,10 @@ def grid(scale: str, benchmarks: List[str], seed: int) -> List[Cell]:
 
 
 def run(scale: str = "small", benchmarks: Optional[List[str]] = None,
-        seed: int = 1, jobs: int = 1, resume=None, progress=None,
-        runner=None) -> Fig5Result:
+        seed: int = 1, jobs: int = 1,
+        resume: Union[None, str, Path] = None,
+        progress: Optional[ProgressFn] = None,
+        runner: Optional[GridRunner] = None) -> Fig5Result:
     """Measure both configurations' lifetimes for every benchmark."""
     names = benchmarks if benchmarks is not None else list(BENCHMARKS)
     runner = make_runner(jobs=jobs, resume=resume, progress=progress,

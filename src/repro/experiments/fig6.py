@@ -16,11 +16,12 @@ start).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
 from ..sim.metrics import LifetimeSeries
 from .common import SYSTEM_CONFIGS, build_engine, scaled_parameters
-from .parallel import Cell, cell_seed, make_runner
+from .parallel import Cell, GridRunner, ProgressFn, cell_seed, make_runner
 from .report import format_series
 
 
@@ -69,8 +70,10 @@ def grid(scale: str, benchmarks: List[str], systems: List[str],
 def run(scale: str = "small",
         benchmarks: Optional[List[str]] = None,
         systems: Optional[List[str]] = None,
-        seed: int = 1, jobs: int = 1, resume=None, progress=None,
-        runner=None) -> Fig6Result:
+        seed: int = 1, jobs: int = 1,
+        resume: Union[None, str, Path] = None,
+        progress: Optional[ProgressFn] = None,
+        runner: Optional[GridRunner] = None) -> Fig6Result:
     """Produce the survival series for every (benchmark, system) pair."""
     benches = benchmarks if benchmarks is not None else ["ocean", "mg"]
     names = systems if systems is not None else list(SYSTEM_CONFIGS)

@@ -19,11 +19,12 @@ reserve postponing the first exposure longest.)
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
 from ..sim.metrics import LifetimeSeries
 from .common import build_engine, scaled_parameters
-from .parallel import Cell, cell_seed, make_runner
+from .parallel import Cell, GridRunner, ProgressFn, cell_seed, make_runner
 from .report import format_series
 
 #: The paper's pre-reservation sweep.
@@ -88,8 +89,10 @@ def grid(scale: str, benchmarks: List[str], reserves: List[float],
 def run(scale: str = "small",
         benchmarks: Optional[List[str]] = None,
         reserves: Optional[List[float]] = None,
-        seed: int = 1, jobs: int = 1, resume=None, progress=None,
-        runner=None) -> Fig7Result:
+        seed: int = 1, jobs: int = 1,
+        resume: Union[None, str, Path] = None,
+        progress: Optional[ProgressFn] = None,
+        runner: Optional[GridRunner] = None) -> Fig7Result:
     """Produce the usable-space series for WLR and each FREE-p reserve."""
     benches = benchmarks if benchmarks is not None else ["ocean", "mg"]
     sweep = reserves if reserves is not None else list(RESERVES)

@@ -12,11 +12,12 @@ blocks; *ocean*'s more uniform writes "barely help".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
 from ..sim.metrics import LifetimeSeries
 from .common import build_engine, build_lls_engine, scaled_parameters
-from .parallel import Cell, cell_seed, jsonify, make_runner
+from .parallel import Cell, GridRunner, ProgressFn, cell_seed, jsonify, make_runner
 from .report import format_series
 
 #: Systems of the figure, in plot order.
@@ -77,8 +78,10 @@ def grid(scale: str, benchmarks: List[str], systems: List[str],
 def run(scale: str = "small",
         benchmarks: Optional[List[str]] = None,
         include_baseline: bool = True,
-        seed: int = 1, jobs: int = 1, resume=None, progress=None,
-        runner=None) -> Fig8Result:
+        seed: int = 1, jobs: int = 1,
+        resume: Union[None, str, Path] = None,
+        progress: Optional[ProgressFn] = None,
+        runner: Optional[GridRunner] = None) -> Fig8Result:
     """Produce the usable-space series for LLS, WLR (and the baseline)."""
     benches = benchmarks if benchmarks is not None else ["ocean", "mg"]
     systems = list(SYSTEMS) if include_baseline else list(SYSTEMS[:2])

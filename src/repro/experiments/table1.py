@@ -9,11 +9,12 @@ probability field and empirically from a sampled address stream).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from pathlib import Path
+from typing import Dict, List, Union
 
 from ..traces import BENCHMARKS, benchmark_trace, counts_cov, distribution_cov
 from .common import scaled_parameters
-from .parallel import Cell, make_runner
+from .parallel import Cell, GridRunner, ProgressFn, make_runner
 from .report import format_table
 
 
@@ -61,8 +62,10 @@ def grid(scale: str, sample_writes: int, seed: int) -> List[Cell]:
 
 
 def run(scale: str = "small", sample_writes: int = 2_000_000,
-        seed: int = 9, jobs: int = 1, resume=None, progress=None,
-        runner=None) -> Table1Result:
+        seed: int = 9, jobs: int = 1,
+        resume: Union[None, str, Path] = None,
+        progress: Optional[ProgressFn] = None,
+        runner: Optional[GridRunner] = None) -> Table1Result:
     """Build every benchmark trace and measure its CoV."""
     params = scaled_parameters(scale)
     runner = make_runner(jobs=jobs, resume=resume, progress=progress,

@@ -12,14 +12,15 @@ failure ratio.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from pathlib import Path
+from typing import Dict, List, Optional, Union
 
 from ..config import CacheConfig
 from ..mc.cache import RemapCache
 from ..rng import derive_rng
 from ..sim.fast import FastEngine
 from .common import build_engine, build_lls_engine, scaled_parameters
-from .parallel import Cell, cell_seed, make_runner
+from .parallel import Cell, GridRunner, ProgressFn, cell_seed, make_runner
 from .report import format_table
 
 #: Failure ratios of the paper's rows.
@@ -131,8 +132,10 @@ def run(scale: str = "small",
         ratios: Optional[List[float]] = None,
         cache_entries: int = 4096,
         samples: int = 200_000,
-        seed: int = 1, jobs: int = 1, resume=None, progress=None,
-        runner=None) -> Table2Result:
+        seed: int = 1, jobs: int = 1,
+        resume: Union[None, str, Path] = None,
+        progress: Optional[ProgressFn] = None,
+        runner: Optional[GridRunner] = None) -> Table2Result:
     """Age chips to each failure ratio and measure both systems."""
     benches = benchmarks if benchmarks is not None else ["mg", "ocean"]
     sweep = ratios if ratios is not None else list(FAILURE_RATIOS)

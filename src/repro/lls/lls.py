@@ -23,7 +23,7 @@ same 32 KB remap cache via
 
 from __future__ import annotations
 
-from typing import Optional
+from typing import Callable, Optional
 
 import numpy as np
 
@@ -32,6 +32,7 @@ from ..osmodel.allocator import PagePool
 from ..pcm.chip import PCMChip
 from ..sim.fast import FastConfig, FastEngine
 from ..traces.base import WriteTrace
+from ..units import blocks_of_pages, round_up_to_pages
 from ..wl.randomizer import RestrictedRandomizer
 from ..wl.startgap import StartGap
 
@@ -41,17 +42,16 @@ class LLSRecovery:
 
     def __init__(self, device_blocks: int, config: Optional[LLSConfig] = None,
                  blocks_per_page: int = 64,
-                 is_usable_backup=None) -> None:
+                 is_usable_backup: Optional[Callable[[int], bool]] = None) -> None:
         from .chunks import ChunkReservation
         from .groups import SalvageGroups
         self.config = config or LLSConfig()
         #: Optional predicate rejecting dead blocks as backups.
         self.is_usable_backup = is_usable_backup
-        chunk = self.config.chunk_blocks
-        if chunk % blocks_per_page:
-            chunk += blocks_per_page - chunk % blocks_per_page
-        self.chunks = ChunkReservation(device_blocks, chunk,
-                                       min_working_blocks=2 * blocks_per_page)
+        chunk = round_up_to_pages(self.config.chunk_blocks, blocks_per_page)
+        self.chunks = ChunkReservation(
+            device_blocks, chunk,
+            min_working_blocks=blocks_of_pages(2, blocks_per_page))
         self.groups = SalvageGroups(self.config.num_groups)
         self.frozen = False
 
@@ -168,8 +168,7 @@ class LLSFastEngine(FastEngine):
 
     def _usable_fraction(self) -> float:
         reserved = self.lls.reserved_fraction
-        retired = (self.ospool.retired_pages * self.ospool.blocks_per_page
-                   / self.chip.num_blocks)
+        retired = self.ospool.retired_blocks / self.chip.num_blocks
         return max(0.0, 1.0 - reserved - retired)
 
     def stats(self) -> dict:

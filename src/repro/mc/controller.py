@@ -236,15 +236,14 @@ class BaseController(abc.ABC):
         self.ospool.last_moves = []
         if not moves:
             return
-        bpp = self.ospool.blocks_per_page
         for vpage, old_phys, new_phys, shared in moves:
-            for offset in range(bpp):
-                vblock = vpage * bpp + offset
+            old_base = self.ospool.page_base(old_phys)
+            new_base = self.ospool.page_base(new_phys)
+            for offset, vblock in enumerate(
+                    self.ospool.virtual_blocks_of_page(vpage)):
                 if self.copy_on_retire:
-                    old_pa = old_phys * bpp + offset
-                    new_pa = new_phys * bpp + offset
-                    tag = self.read_migration(self.wl.map(old_pa))
-                    self.write_migration_pa(new_pa, tag)
+                    tag = self.read_migration(self.wl.map(old_base + offset))
+                    self.write_migration_pa(new_base + offset, tag)
                 else:
                     self.lost_vblocks.add(vblock)
             if shared:
@@ -252,8 +251,8 @@ class BaseController(abc.ABC):
                 # target frame (including the mover) now interleaves its
                 # writes with the others — none of their data is reliable.
                 for alias in self.ospool.pages[new_phys].virtual_pages:
-                    for offset in range(bpp):
-                        self.lost_vblocks.add(alias * bpp + offset)
+                    self.lost_vblocks.update(
+                        self.ospool.virtual_blocks_of_page(alias))
 
     def _migration_unroutable(self, pa: int) -> None:
         """A migration write had no destination: by default the data is
@@ -267,16 +266,15 @@ class BaseController(abc.ABC):
         if not self.ospool.pa_in_software_space(pa):
             return
         page = self.ospool.page_of_pa(pa)
-        offset = pa % self.ospool.blocks_per_page
+        offset = self.ospool.offset_in_page(pa)
         for vpage in self.ospool.pages[page].virtual_pages:
-            self.lost_vblocks.add(vpage * self.ospool.blocks_per_page + offset)
+            self.lost_vblocks.add(self.ospool.virtual_block_of(vpage, offset))
 
     # -------------------------------------------------------------- metrics
 
     def software_usable_fraction(self) -> float:
         """Usable software space as a fraction of the whole chip."""
-        usable_blocks = self.ospool.usable_pages * self.ospool.blocks_per_page
-        return usable_blocks / self.chip.num_blocks
+        return self.ospool.usable_blocks / self.chip.num_blocks
 
     @property
     def name(self) -> str:
@@ -449,16 +447,13 @@ class ReviverController(BaseController):
         checker = self.reviver.make_checker(
             software_pas=self._software_pas,
             failed_blocks=lambda: [int(d) for d in
-                                   self.chip.failed.nonzero()[0]])
+                                   self.chip.failed.nonzero()[0]],
+            map_many_fn=self.wl.map_many,
+            failed_mask_fn=lambda: self.chip.failed)
         checker.check_all()
 
     def _software_pas(self) -> List[int]:
-        pas: List[int] = []
-        for page in self.ospool.pages:
-            if page.is_usable:
-                base = page.page_id * self.ospool.blocks_per_page
-                pas.extend(range(base, base + self.ospool.blocks_per_page))
-        return pas
+        return [int(pa) for pa in self.ospool.usable_pas()]
 
     def _run_wear_leveling(self, pa: Optional[int] = None) -> None:
         super()._run_wear_leveling(pa=pa)

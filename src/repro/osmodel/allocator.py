@@ -113,6 +113,40 @@ class PagePool:
             raise AddressError(f"PA {pa} outside the paged software space")
         return page
 
+    def offset_in_page(self, pa: int) -> int:
+        """Index of *pa* within its physical page."""
+        self.page_of_pa(pa)  # bounds check
+        return (pa - self.base_pa) % self.blocks_per_page
+
+    def page_base(self, page_id: int) -> int:
+        """First PA of physical page *page_id* (``base_pa`` included)."""
+        if not 0 <= page_id < self.num_pages:
+            raise AddressError(f"page {page_id} out of range")
+        return self.base_pa + page_id * self.blocks_per_page
+
+    def pas_of_page(self, page_id: int) -> range:
+        """PAs of physical page *page_id*, ascending."""
+        base = self.page_base(page_id)
+        return range(base, base + self.blocks_per_page)
+
+    def virtual_block_of(self, vpage: int, offset: int) -> int:
+        """Virtual block address of (*vpage*, *offset*)."""
+        if not 0 <= offset < self.blocks_per_page:
+            raise AddressError(f"offset {offset} out of range")
+        return vpage * self.blocks_per_page + offset
+
+    def virtual_blocks_of_page(self, vpage: int) -> range:
+        """Virtual block addresses of virtual page *vpage*, ascending."""
+        base = self.virtual_block_of(vpage, 0)
+        return range(base, base + self.blocks_per_page)
+
+    def usable_pas(self) -> np.ndarray:
+        """PAs of every usable physical page (vectorized, ascending)."""
+        pages = np.sort(np.asarray(self._usable_list, dtype=np.int64))
+        offsets = np.arange(self.blocks_per_page, dtype=np.int64)
+        pas = (self.base_pa + pages[:, None] * self.blocks_per_page + offsets)
+        return pas.reshape(-1)
+
     def pa_in_software_space(self, pa: int) -> bool:
         """Whether *pa* lies inside a complete (pageable) page."""
         span = self.num_pages * self.blocks_per_page
@@ -213,6 +247,16 @@ class PagePool:
     def retired_pages(self) -> int:
         """Count of retired physical pages."""
         return self.num_pages - self._usable_count
+
+    @property
+    def usable_blocks(self) -> int:
+        """Block count of the still-usable physical pages."""
+        return self._usable_count * self.blocks_per_page
+
+    @property
+    def retired_blocks(self) -> int:
+        """Block count of the retired physical pages."""
+        return self.retired_pages * self.blocks_per_page
 
     def usable_fraction(self) -> float:
         """Fraction of the paged space still usable by software."""

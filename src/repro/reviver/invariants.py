@@ -11,32 +11,87 @@
 The checkers walk the full reviver state and raise
 :class:`~repro.errors.ProtocolError` on any violation.  They are wired into
 the controller behind ``ReviverConfig.check_invariants`` (tests and the
-exact engine enable them; the fast engine runs them at sampling points).
+exact engine enable them; the fast engine runs its subset at sampling
+points).
+
+Every ``check_*`` method is callable standalone: a failed block with no
+link raises a :class:`~repro.errors.ProtocolError` (never a bare
+``TypeError``), whichever method trips over it first.
+
+Two execution paths produce identical errors:
+
+* the **scalar** path needs only per-address callables and works with any
+  hand-built state (tests);
+* the **vectorized** path — used when the constructor also receives
+  ``map_many_fn`` and ``failed_mask_fn`` — evaluates each theorem as numpy
+  array sweeps, mirroring the pointer-jumping treatment of the fast
+  engine's redirect rebuild.  The checkers run at every sampling point of
+  a lifetime simulation, over every software PA and failed block, so the
+  per-element Python loop is a hot path worth removing.  When a sweep
+  detects a violation, the first offending element (in the scalar path's
+  iteration order) is re-examined scalar-style so messages match exactly.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Iterable
+from typing import Callable, Iterable, List, Optional, Tuple
+
+import numpy as np
 
 from ..errors import ProtocolError
-from .links import LinkTable
 from .registers import SparePool
+
+try:  # pragma: no cover - exercised implicitly on 3.8+
+    from typing import Protocol
+except ImportError:  # pragma: no cover - Python < 3.8 fallback
+    Protocol = object  # type: ignore[assignment]
+
+
+class LinkView(Protocol):
+    """Read interface over failed-DA <-> virtual-shadow-PA links.
+
+    Satisfied by :class:`~repro.reviver.links.LinkTable` and by the fast
+    engine's functional link dict adapter.
+    """
+
+    def vpa_of(self, da: int) -> Optional[int]:
+        """Virtual shadow PA of failed block *da* (None = no link)."""
+
+    def failed_of(self, vpa: int) -> Optional[int]:
+        """Failed DA whose inverse pointer names *vpa* (None = unlinked)."""
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The pointer direction as parallel ``(das, vpas)`` int64 arrays."""
+
+    def inverse_as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The inverse direction as parallel ``(vpas, das)`` int64 arrays."""
+
+
+def _as_int_array(values: Iterable[int]) -> np.ndarray:
+    """Int64 array from any iterable, safe for the empty case."""
+    return np.asarray(list(values), dtype=np.int64)
 
 
 class InvariantChecker:
     """Validates Theorems 1-3 and the one-step-chain property."""
 
-    def __init__(self, links: LinkTable, spares: SparePool,
+    def __init__(self, links: LinkView, spares: SparePool,
                  map_fn: Callable[[int], int],
                  is_failed: Callable[[int], bool],
                  software_pas: Callable[[], Iterable[int]],
-                 failed_blocks: Callable[[], Iterable[int]]) -> None:
+                 failed_blocks: Callable[[], Iterable[int]],
+                 map_many_fn: Optional[
+                     Callable[[np.ndarray], np.ndarray]] = None,
+                 failed_mask_fn: Optional[
+                     Callable[[], np.ndarray]] = None) -> None:
         self.links = links
         self.spares = spares
         self.map_fn = map_fn
         self.is_failed = is_failed
         self.software_pas = software_pas
         self.failed_blocks = failed_blocks
+        self.map_many_fn = map_many_fn
+        self.failed_mask_fn = failed_mask_fn
 
     # ------------------------------------------------------------ full check
 
@@ -48,30 +103,108 @@ class InvariantChecker:
         self.check_theorem2()
         self.check_theorem3()
 
+    # --------------------------------------------------------------- helpers
+
+    @property
+    def vectorized(self) -> bool:
+        """Whether the numpy sweep path is available."""
+        return (self.map_many_fn is not None
+                and self.failed_mask_fn is not None
+                and hasattr(self.links, "as_arrays")
+                and hasattr(self.links, "inverse_as_arrays"))
+
+    def _require_link(self, da: int) -> int:
+        """The virtual shadow PA of *da*; ProtocolError when unlinked."""
+        vpa = self.links.vpa_of(da)
+        if vpa is None:
+            raise ProtocolError(f"failed block {da} has no virtual shadow")
+        return vpa
+
+    def _lookup_vpas(self, das: np.ndarray,
+                     missing: Callable[[int], str]) -> np.ndarray:
+        """Vectorized link lookup; raise *missing(da)* for unlinked blocks."""
+        linked_das, linked_vpas = self.links.as_arrays()
+        if linked_das.size == 0:
+            raise ProtocolError(missing(int(das[0])))
+        order = np.argsort(linked_das)
+        sorted_das = linked_das[order]
+        sorted_vpas = linked_vpas[order]
+        pos = np.searchsorted(sorted_das, das)
+        pos_clipped = np.minimum(pos, len(sorted_das) - 1)
+        found = sorted_das[pos_clipped] == das
+        if not np.all(found):
+            raise ProtocolError(missing(int(das[np.argmin(found)])))
+        return sorted_vpas[pos_clipped]
+
     # ------------------------------------------------------------ components
 
     def check_link_consistency(self) -> None:
         """Every failed block is linked and both link directions agree."""
+        if self.vectorized:
+            self._check_link_consistency_vec()
+            return
         for da in self.failed_blocks():
-            vpa = self.links.vpa_of(da)
-            if vpa is None:
-                raise ProtocolError(f"failed block {da} has no virtual shadow")
+            vpa = self._require_link(da)
             back = self.links.failed_of(vpa)
             if back != da:
                 raise ProtocolError(
                     f"inverse pointer of PA {vpa} names {back}, expected {da}")
 
+    def _check_link_consistency_vec(self) -> None:
+        failed = _as_int_array(self.failed_blocks())
+        if failed.size == 0:
+            return
+        vpas = self._lookup_vpas(
+            failed, lambda da: f"failed block {da} has no virtual shadow")
+        inv_vpas, inv_das = self.links.inverse_as_arrays()
+        agree = np.zeros(len(failed), dtype=bool)
+        if inv_vpas.size:
+            order = np.argsort(inv_vpas)
+            sorted_vpas = inv_vpas[order]
+            sorted_das = inv_das[order]
+            pos = np.minimum(np.searchsorted(sorted_vpas, vpas),
+                             len(sorted_vpas) - 1)
+            agree = (sorted_vpas[pos] == vpas) & (sorted_das[pos] == failed)
+        if not np.all(agree):
+            index = int(np.argmin(agree))
+            da, vpa = int(failed[index]), int(vpas[index])
+            back = self.links.failed_of(vpa)
+            raise ProtocolError(
+                f"inverse pointer of PA {vpa} names {back}, expected {da}")
+
     def check_chain_lengths(self) -> None:
         """No chain is longer than one step."""
+        if self.vectorized:
+            self._check_chain_lengths_vec()
+            return
         for da in self.failed_blocks():
-            vpa = self.links.vpa_of(da)
+            vpa = self._require_link(da)
             target = self.map_fn(vpa)
             if target != da and self.is_failed(target):
                 raise ProtocolError(
                     f"two-step chain: {da} -> PA {vpa} -> failed {target}")
 
+    def _check_chain_lengths_vec(self) -> None:
+        assert self.map_many_fn is not None and self.failed_mask_fn is not None
+        failed = _as_int_array(self.failed_blocks())
+        if failed.size == 0:
+            return
+        vpas = self._lookup_vpas(
+            failed, lambda da: f"failed block {da} has no virtual shadow")
+        targets = self.map_many_fn(vpas)
+        mask = self.failed_mask_fn()
+        bad = (targets != failed) & mask[targets]
+        if np.any(bad):
+            index = int(np.argmax(bad))
+            raise ProtocolError(
+                f"two-step chain: {int(failed[index])} -> "
+                f"PA {int(vpas[index])} -> failed {int(targets[index])}")
+
     def check_theorem1(self) -> None:
         """Software-accessible failed blocks have healthy one-step shadows."""
+        if self.vectorized:
+            self._check_theorem1_vec()
+            return
         for pa in self.software_pas():
             da = self.map_fn(pa)
             if not self.is_failed(da):
@@ -85,24 +218,68 @@ class InvariantChecker:
                     f"accessible failed block {da} lacks a healthy shadow "
                     f"(PA {pa} -> {da} -> PA {vpa} -> {shadow})")
 
+    def _check_theorem1_vec(self) -> None:
+        assert self.map_many_fn is not None and self.failed_mask_fn is not None
+        pas = _as_int_array(self.software_pas())
+        if pas.size == 0:
+            return
+        das = self.map_many_fn(pas)
+        mask = self.failed_mask_fn()
+        hit = mask[das]
+        if not np.any(hit):
+            return
+        pas, das = pas[hit], das[hit]
+        vpas = self._lookup_vpas(
+            das, lambda da: f"accessible failed block {da} unlinked")
+        shadows = self.map_many_fn(vpas)
+        bad = (shadows == das) | mask[shadows]
+        if np.any(bad):
+            index = int(np.argmax(bad))
+            raise ProtocolError(
+                f"accessible failed block {int(das[index])} lacks a healthy "
+                f"shadow (PA {int(pas[index])} -> {int(das[index])} -> "
+                f"PA {int(vpas[index])} -> {int(shadows[index])})")
+
     def check_theorem2(self) -> None:
         """Unlinked spare PAs reach a healthy block in <= 1 chain step."""
+        if self.vectorized:
+            self._check_theorem2_vec()
+            return
         for vpa in self.spares.peek_all():
-            da = self.map_fn(vpa)
-            if not self.is_failed(da):
-                continue
-            link = self.links.vpa_of(da)
-            if link is None:
-                raise ProtocolError(f"spare PA {vpa} maps to unlinked failed {da}")
-            shadow = self.map_fn(link)
-            if shadow == da:
-                # The failed block is on a loop with its own VPA; the spare
-                # would have no healthy backing.  Theorem 2 forbids this.
-                raise ProtocolError(
-                    f"spare PA {vpa} maps to loop block {da}")
-            if self.is_failed(shadow):
-                raise ProtocolError(
-                    f"spare PA {vpa} indirectly reaches failed block {shadow}")
+            self._check_spare(vpa)
+
+    def _check_spare(self, vpa: int) -> None:
+        """Scalar Theorem 2 check of one unlinked spare PA."""
+        da = self.map_fn(vpa)
+        if not self.is_failed(da):
+            return
+        link = self.links.vpa_of(da)
+        if link is None:
+            raise ProtocolError(f"spare PA {vpa} maps to unlinked failed {da}")
+        shadow = self.map_fn(link)
+        if shadow == da:
+            # The failed block is on a loop with its own VPA; the spare
+            # would have no healthy backing.  Theorem 2 forbids this.
+            raise ProtocolError(
+                f"spare PA {vpa} maps to loop block {da}")
+        if self.is_failed(shadow):
+            raise ProtocolError(
+                f"spare PA {vpa} indirectly reaches failed block {shadow}")
+
+    def _check_theorem2_vec(self) -> None:
+        assert self.map_many_fn is not None and self.failed_mask_fn is not None
+        spares = _as_int_array(self.spares.peek_all())
+        if spares.size == 0:
+            return
+        das = self.map_many_fn(spares)
+        mask = self.failed_mask_fn()
+        hit = mask[das]
+        if not np.any(hit):
+            return
+        # Rare path: some spare maps onto a failed block.  Re-examine the
+        # suspects scalar-style, in register order, for exact messages.
+        for vpa in spares[hit]:
+            self._check_spare(int(vpa))
 
     def check_theorem3(self) -> None:
         """Loop blocks are mapped only by their own virtual shadow PA.
@@ -111,8 +288,30 @@ class InvariantChecker:
         mapping onto each loop block *is* the loop's VPA — which is neither
         software-accessible nor an allocatable spare.
         """
+        if self.vectorized:
+            self._check_theorem3_vec()
+            return
         for da in self.failed_blocks():
-            vpa = self.links.vpa_of(da)
+            vpa = self._require_link(da)
             if self.map_fn(vpa) == da and vpa in self.spares:
                 raise ProtocolError(
                     f"loop block {da} is reachable through spare PA {vpa}")
+
+    def _check_theorem3_vec(self) -> None:
+        assert self.map_many_fn is not None
+        failed = _as_int_array(self.failed_blocks())
+        if failed.size == 0:
+            return
+        vpas = self._lookup_vpas(
+            failed, lambda da: f"failed block {da} has no virtual shadow")
+        loops = self.map_many_fn(vpas) == failed
+        if not np.any(loops):
+            return
+        spare_arr = _as_int_array(self.spares.peek_all())
+        reachable = np.isin(vpas[loops], spare_arr)
+        if np.any(reachable):
+            index = int(np.argmax(reachable))
+            da = int(failed[loops][index])
+            vpa = int(vpas[loops][index])
+            raise ProtocolError(
+                f"loop block {da} is reachable through spare PA {vpa}")

@@ -17,7 +17,9 @@ cost exactly where the paper says the bits live.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from ..errors import ProtocolError
 from .pages import PageLedger
@@ -63,6 +65,22 @@ class LinkTable:
     def linked_blocks(self) -> List[int]:
         """All failed DAs that own a link (ascending)."""
         return sorted(self._pointer)
+
+    def as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Pointer direction as parallel ``(das, vpas)`` int64 arrays."""
+        das = np.fromiter(self._pointer.keys(), dtype=np.int64,
+                          count=len(self._pointer))
+        vpas = np.fromiter(self._pointer.values(), dtype=np.int64,
+                           count=len(self._pointer))
+        return das, vpas
+
+    def inverse_as_arrays(self) -> Tuple[np.ndarray, np.ndarray]:
+        """Inverse direction as parallel ``(vpas, das)`` int64 arrays."""
+        vpas = np.fromiter(self._inverse.keys(), dtype=np.int64,
+                           count=len(self._inverse))
+        das = np.fromiter(self._inverse.values(), dtype=np.int64,
+                          count=len(self._inverse))
+        return vpas, das
 
     def __len__(self) -> int:
         return len(self._pointer)

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional
 
 from ..config import ReviverConfig
 from ..errors import ProtocolError
+from ..units import blocks_of_pages
 
 
 @dataclass(frozen=True)
@@ -98,6 +99,11 @@ class PageLedger:
     def pages_acquired(self) -> int:
         """Number of pages claimed so far."""
         return len(self.pages)
+
+    @property
+    def blocks_claimed(self) -> int:
+        """Block count of every page claimed so far (capacity accounting)."""
+        return blocks_of_pages(self.pages_acquired, self.blocks_per_page)
 
     @property
     def shadow_slots_per_page(self) -> int:

@@ -31,6 +31,8 @@ from __future__ import annotations
 import enum
 from typing import Callable, List, Optional
 
+import numpy as np
+
 from ..config import ReviverConfig
 from ..errors import ProtocolError
 from ..osmodel.faults import FaultReporter
@@ -188,10 +190,20 @@ class WLReviver:
     # ------------------------------------------------------------- reporting
 
     def make_checker(self, software_pas: Callable[[], List[int]],
-                     failed_blocks: Callable[[], List[int]]) -> InvariantChecker:
-        """Build an invariant checker over this reviver's live state."""
+                     failed_blocks: Callable[[], List[int]],
+                     map_many_fn: Optional[
+                         Callable[[np.ndarray], np.ndarray]] = None,
+                     failed_mask_fn: Optional[
+                         Callable[[], np.ndarray]] = None) -> InvariantChecker:
+        """Build an invariant checker over this reviver's live state.
+
+        Passing ``map_many_fn`` + ``failed_mask_fn`` selects the checker's
+        vectorized sweeps (identical errors, numpy speed).
+        """
         return InvariantChecker(self.links, self.spares, self.map_fn,
-                                self.is_failed, software_pas, failed_blocks)
+                                self.is_failed, software_pas, failed_blocks,
+                                map_many_fn=map_many_fn,
+                                failed_mask_fn=failed_mask_fn)
 
     def stats(self) -> dict:
         """Counters for experiment reports."""

@@ -51,6 +51,7 @@ from ..ecc.freep import FreePRegion
 from ..osmodel.allocator import PagePool
 from ..osmodel.faults import FaultReporter
 from ..pcm.chip import PCMChip
+from ..reviver.invariants import InvariantChecker
 from ..reviver.pages import PageLedger
 from ..reviver.registers import SparePool
 from ..rng import SeedLike, derive_rng
@@ -88,6 +89,40 @@ class FastConfig:
             raise ProtocolError(f"unknown recovery mode {self.recovery!r}")
         if self.batch_writes <= 0:
             raise ProtocolError("batch_writes must be positive")
+
+
+class _FunctionalLinkView:
+    """Read adapter giving the engine's plain link dict the LinkTable API.
+
+    The fast engine stores links functionally (failed DA -> VPA, no
+    switching); this view exposes the read interface the
+    :class:`~repro.reviver.invariants.InvariantChecker` needs, with the
+    inverse direction derived on construction.
+    """
+
+    def __init__(self, links: Dict[int, int]) -> None:
+        self._links = links
+        self._rev = {vpa: da for da, vpa in links.items()}
+
+    def vpa_of(self, da: int) -> Optional[int]:
+        return self._links.get(da)
+
+    def failed_of(self, vpa: int) -> Optional[int]:
+        return self._rev.get(vpa)
+
+    def as_arrays(self) -> "tuple[np.ndarray, np.ndarray]":
+        das = np.fromiter(self._links.keys(), dtype=np.int64,
+                          count=len(self._links))
+        vpas = np.fromiter(self._links.values(), dtype=np.int64,
+                           count=len(self._links))
+        return das, vpas
+
+    def inverse_as_arrays(self) -> "tuple[np.ndarray, np.ndarray]":
+        vpas = np.fromiter(self._rev.keys(), dtype=np.int64,
+                           count=len(self._rev))
+        das = np.fromiter(self._rev.values(), dtype=np.int64,
+                          count=len(self._rev))
+        return vpas, das
 
 
 class FastEngine:
@@ -382,8 +417,7 @@ class FastEngine:
         if self.config.recovery == "freep" and self.region is not None:
             return self.region.reserved_blocks / self.chip.num_blocks
         if self.config.recovery == "reviver":
-            pages = self.ledger.pages_acquired
-            return pages * self.config.blocks_per_page / self.chip.num_blocks
+            return self.ledger.blocks_claimed / self.chip.num_blocks
         return 0.0
 
     def _reviver_failure(self, da: int) -> None:
@@ -474,9 +508,40 @@ class FastEngine:
         final = np.where(self.chip.failed[cursor], failed_das, cursor)
         self._redirect[failed_das] = final
 
+    # ------------------------------------------------------------ invariants
+
+    def check_invariants(self) -> None:
+        """Vectorized subset of Theorems 1-3 that this engine maintains.
+
+        The fast engine keeps links *functionally* (the redirect table
+        follows chains to their final healthy block) rather than flattening
+        them to one step, so the one-step-chain property and the immediate-
+        shadow forms of Theorems 1-2 do not apply here.  What must always
+        hold — and is checked — is that every chip-failed block is linked
+        with both directions in agreement, and that no PA-DA loop block is
+        reachable through an allocatable spare (Theorem 3).  Software
+        traffic reaching a dead block is independently enforced per epoch
+        in :meth:`_apply_software`.
+        """
+        view = _FunctionalLinkView(self.links)
+        checker = InvariantChecker(
+            view, self.spares,
+            map_fn=self.wl.map,
+            is_failed=self.chip.is_failed,
+            software_pas=lambda: [],
+            failed_blocks=lambda: self.chip.failed.nonzero()[0].tolist(),
+            map_many_fn=self.wl.map_many,
+            failed_mask_fn=lambda: self.chip.failed)
+        checker.check_link_consistency()
+        checker.check_theorem3()
+
     # --------------------------------------------------------------- metrics
 
     def _sample(self) -> None:
+        if (self.config.reviver.check_invariants
+                and self.config.recovery == "reviver"
+                and self.stopped_reason is None):
+            self.check_invariants()
         avg = 1.0
         if self.total_writes:
             avg = 1.0 + self._redirected_traffic / self.total_writes
@@ -500,8 +565,7 @@ class FastEngine:
             # Acquired pages are already excluded from the pool; nothing
             # else is lost (every failure hides behind them).
             return max(0.0, 1.0 - reserved)
-        retired = (self.ospool.retired_pages * self.ospool.blocks_per_page
-                   / self.chip.num_blocks)
+        retired = self.ospool.retired_blocks / self.chip.num_blocks
         return max(0.0, 1.0 - reserved - retired)
 
     def stats(self) -> dict:

@@ -28,7 +28,7 @@ def wear_cov(wear: np.ndarray) -> float:
     """CoV of a wear vector (0 for perfectly even wear)."""
     wear = np.asarray(wear, dtype=np.float64)
     mean = wear.mean() if wear.size else 0.0
-    if mean == 0.0:
+    if mean == 0.0:  # repro: allow(FLOAT-EQ): exact-zero guard, mean of all-zero wear is exactly 0.0
         return 0.0
     return float(wear.std() / mean)
 
@@ -43,7 +43,7 @@ def gini(wear: np.ndarray) -> float:
     wear = np.sort(np.asarray(wear, dtype=np.float64))
     n = wear.size
     total = wear.sum()
-    if n == 0 or total == 0.0:
+    if n == 0 or total == 0.0:  # repro: allow(FLOAT-EQ): exact-zero guard, sum of all-zero wear is exactly 0.0
         return 0.0
     ranks = np.arange(1, n + 1, dtype=np.float64)
     return float(2.0 * (ranks * wear).sum() / (n * total) - (n + 1) / n)
@@ -59,7 +59,7 @@ def endurance_utilization(chip: PCMChip) -> float:
     thresholds = np.asarray(chip.ecc.thresholds, dtype=np.float64)
     consumed = np.minimum(chip.wear.astype(np.float64), thresholds)
     budget = thresholds.sum()
-    if budget == 0.0:
+    if budget == 0.0:  # repro: allow(FLOAT-EQ): exact-zero guard against dividing by an empty threshold budget
         return 0.0
     return float(consumed.sum() / budget)
 

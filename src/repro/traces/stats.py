@@ -15,7 +15,7 @@ def counts_cov(counts: np.ndarray) -> float:
     """CoV of a per-block write-count vector."""
     counts = np.asarray(counts, dtype=np.float64)
     mean = counts.mean() if counts.size else 0.0
-    if mean == 0.0:
+    if mean == 0.0:  # repro: allow(FLOAT-EQ): exact-zero guard, mean of all-zero counts is exactly 0.0
         return 0.0
     return float(counts.std() / mean)
 
@@ -35,7 +35,7 @@ def distribution_cov(probabilities: np.ndarray) -> float:
     """
     probabilities = np.asarray(probabilities, dtype=np.float64)
     mean = probabilities.mean()
-    if mean == 0.0:
+    if mean == 0.0:  # repro: allow(FLOAT-EQ): exact-zero guard, mean of all-zero counts is exactly 0.0
         return 0.0
     return float(probabilities.std() / mean)
 

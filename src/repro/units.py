@@ -55,6 +55,32 @@ def blocks_per_page(page_bytes: int = DEFAULT_PAGE_BYTES,
     return page_bytes // block_bytes
 
 
+def page_count(blocks: int, blocks_per_page: int) -> int:
+    """Number of whole OS pages covering *blocks* block addresses."""
+    if blocks_per_page <= 0:
+        raise ConfigurationError("blocks_per_page must be positive")
+    return blocks // blocks_per_page
+
+
+def is_page_aligned(blocks: int, blocks_per_page: int) -> bool:
+    """Whether *blocks* is a whole number of OS pages."""
+    if blocks_per_page <= 0:
+        raise ConfigurationError("blocks_per_page must be positive")
+    return blocks % blocks_per_page == 0
+
+
+def blocks_of_pages(pages: int, blocks_per_page: int) -> int:
+    """Block count of *pages* whole OS pages."""
+    if blocks_per_page <= 0:
+        raise ConfigurationError("blocks_per_page must be positive")
+    return pages * blocks_per_page
+
+
+def round_up_to_pages(blocks: int, blocks_per_page: int) -> int:
+    """Smallest page-aligned block count >= *blocks*."""
+    return blocks_of_pages(ceil_div(blocks, blocks_per_page), blocks_per_page)
+
+
 def parse_size(text: str) -> int:
     """Parse a human-readable size such as ``"1GB"``, ``"64MB"``, ``"4KB"``.
 

@@ -1,0 +1,124 @@
+"""Framework behaviour: suppressions, PARSE/ALLOW-REASON, CLI contract.
+
+Also pins the tree-wide guarantee CI enforces: linting the real ``src``
+tree yields zero findings.
+"""
+
+import json
+from io import StringIO
+from pathlib import Path
+
+from repro.analysis import lint_paths, lint_source
+from repro.analysis.cli import main
+
+FAKE = Path("src/repro/mc/controller.py")
+
+BAD_LINE = "page = pa // blocks_per_page\n"
+
+
+class TestSuppressions:
+    def test_same_line_allow_suppresses(self):
+        text = ("page = pa // blocks_per_page  "
+                "# repro: allow(RAW-GEOM): fixture justification\n")
+        assert lint_source(text, FAKE) == []
+
+    def test_allow_only_covers_named_rule(self):
+        text = ("page = pa // blocks_per_page  "
+                "# repro: allow(FLOAT-EQ): wrong rule named\n")
+        assert [f.rule for f in lint_source(text, FAKE)] == ["RAW-GEOM"]
+
+    def test_file_wide_allow_suppresses_everywhere(self):
+        text = ("# repro: allow-file(RAW-GEOM): fixture justification\n"
+                "a = pa // blocks_per_page\n"
+                "b = pa % blocks_per_page\n")
+        assert lint_source(text, FAKE) == []
+
+    def test_allow_without_reason_is_itself_a_finding(self):
+        text = "page = pa // blocks_per_page  # repro: allow(RAW-GEOM)\n"
+        rules = sorted(f.rule for f in lint_source(text, FAKE))
+        assert rules == ["ALLOW-REASON"]
+
+    def test_multi_rule_allow(self):
+        text = ("x = bpp * n if y == 0.5 else 0  "
+                "# repro: allow(RAW-GEOM, FLOAT-EQ): fixture justification\n")
+        assert lint_source(text, FAKE) == []
+
+
+class TestFrameworkFindings:
+    def test_unparseable_file_reports_parse(self):
+        found = lint_source("def broken(:\n", FAKE)
+        assert [f.rule for f in found] == ["PARSE"]
+
+    def test_findings_sorted_by_position(self):
+        text = ("import random\n"
+                "page = pa // blocks_per_page\n"
+                "if x == 0.5:\n"
+                "    pass\n")
+        found = lint_source(text, FAKE)
+        assert [f.rule for f in found] == ["RNG-DET", "RAW-GEOM", "FLOAT-EQ"]
+        assert [f.line for f in found] == [1, 2, 3]
+
+    def test_render_format_is_clickable(self):
+        finding = lint_source(BAD_LINE, FAKE)[0]
+        assert finding.render().startswith(
+            "src/repro/mc/controller.py:1:")
+        assert "RAW-GEOM" in finding.render()
+
+
+class TestCli:
+    def _write(self, tmp_path, name, text):
+        path = tmp_path / name
+        path.write_text(text, encoding="utf-8")
+        return path
+
+    def test_clean_file_exits_zero(self, tmp_path):
+        path = self._write(tmp_path, "clean.py", "x = 1\n")
+        out = StringIO()
+        assert main([str(path)], stream=out) == 0
+        assert "0 findings" in out.getvalue()
+
+    def test_findings_exit_one_text(self, tmp_path):
+        path = self._write(tmp_path, "bad.py", BAD_LINE)
+        out = StringIO()
+        assert main([str(path)], stream=out) == 1
+        assert "RAW-GEOM" in out.getvalue()
+        assert "1 finding" in out.getvalue()
+
+    def test_json_output_parses(self, tmp_path):
+        path = self._write(tmp_path, "bad.py", BAD_LINE + "import random\n")
+        out = StringIO()
+        assert main([str(path), "--format", "json"], stream=out) == 1
+        payload = json.loads(out.getvalue())
+        assert payload["count"] == 2
+        assert {f["rule"] for f in payload["findings"]} \
+            == {"RAW-GEOM", "RNG-DET"}
+
+    def test_select_restricts_rules(self, tmp_path):
+        path = self._write(tmp_path, "bad.py", BAD_LINE + "import random\n")
+        out = StringIO()
+        assert main([str(path), "--select", "RNG-DET"], stream=out) == 1
+        assert "RAW-GEOM" not in out.getvalue()
+
+    def test_unknown_rule_exits_two(self, tmp_path):
+        out = StringIO()
+        assert main([str(tmp_path), "--select", "NOPE"], stream=out) == 2
+
+    def test_missing_path_exits_two(self, tmp_path):
+        out = StringIO()
+        assert main([str(tmp_path / "absent")], stream=out) == 2
+
+    def test_list_rules_describes_all_five(self):
+        out = StringIO()
+        assert main(["--list-rules"], stream=out) == 0
+        text = out.getvalue()
+        for rule_id in ("RAW-GEOM", "RNG-DET", "LINK-MUT",
+                        "EXC-SWALLOW", "FLOAT-EQ"):
+            assert rule_id in text
+
+
+class TestTreeIsClean:
+    def test_src_tree_has_zero_findings(self):
+        src = Path(__file__).resolve().parent.parent / "src"
+        assert src.is_dir()
+        findings = lint_paths([src])
+        assert findings == [], "\n".join(f.render() for f in findings)

@@ -1,0 +1,167 @@
+"""Per-rule fixtures: each rule must flag its bad shape and pass the fix.
+
+Every rule gets (at least) one *bad* fixture that produces a finding —
+deleting the rule makes that test fail — and one *good* fixture showing
+the sanctioned alternative stays clean.  The RAW-GEOM regression fixture
+reintroduces PR 1's shipped bug verbatim.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import get_rule, lint_source, rule_ids
+
+#: A path no rule exempts: findings here are purely content-driven.
+GENERIC = Path("src/repro/mc/controller.py")
+
+
+def findings_for(rule_id, text, path=GENERIC):
+    return lint_source(text, path, rules=[get_rule(rule_id)])
+
+
+class TestRegistry:
+    def test_all_five_rules_registered(self):
+        assert set(rule_ids()) == {
+            "RAW-GEOM", "RNG-DET", "LINK-MUT", "EXC-SWALLOW", "FLOAT-EQ"}
+
+    def test_get_rule_is_case_insensitive(self):
+        assert get_rule("raw-geom").id == "RAW-GEOM"
+
+    def test_rules_carry_rationale(self):
+        for rule_id in rule_ids():
+            rule = get_rule(rule_id)
+            assert rule.summary and rule.rationale
+
+
+class TestRawGeom:
+    def test_pr1_victim_page_bug_is_caught(self):
+        # The exact shape PR 1 shipped in sim/fast.py: page id from a PA
+        # without the PagePool.base_pa offset.
+        bad = "victim_page = pa // self.config.blocks_per_page\n"
+        found = findings_for("RAW-GEOM", bad, Path("src/repro/sim/fast.py"))
+        assert [f.rule for f in found] == ["RAW-GEOM"]
+        assert "blocks_per_page" in found[0].message
+
+    @pytest.mark.parametrize("bad", [
+        "offset = pa % blocks_per_page\n",
+        "base = page_id * bpp\n",
+        "page, offset = divmod(pa, blocks_per_page)\n",
+        "blocks = self.ledger.pages_acquired * self.blocks_per_page\n",
+    ])
+    def test_each_banned_operation_is_caught(self, bad):
+        assert [f.rule for f in findings_for("RAW-GEOM", bad)] == ["RAW-GEOM"]
+
+    @pytest.mark.parametrize("good", [
+        "victim_page = self.ospool.page_of_pa(pa)\n",
+        "offset = self.ospool.offset_in_page(pa)\n",
+        "blocks = blocks_of_pages(pages, blocks_per_page)\n",
+        "total = count * 2\n",
+    ])
+    def test_helper_calls_stay_clean(self, good):
+        assert findings_for("RAW-GEOM", good) == []
+
+    def test_geometry_owners_are_exempt(self):
+        bad = "page = pa // blocks_per_page\n"
+        for owner in ("src/repro/pcm/geometry.py",
+                      "src/repro/osmodel/allocator.py",
+                      "src/repro/units.py"):
+            assert findings_for("RAW-GEOM", bad, Path(owner)) == []
+        assert findings_for("RAW-GEOM", bad) != []
+
+
+class TestRngDet:
+    @pytest.mark.parametrize("bad", [
+        "import numpy as np\nx = np.random.randint(0, 4)\n",
+        "import numpy as np\nnp.random.seed(0)\n",
+        "import numpy\nnumpy.random.shuffle(values)\n",
+        "import random\n",
+        "from random import choice\n",
+    ])
+    def test_global_rng_state_is_caught(self, bad):
+        assert [f.rule for f in findings_for("RNG-DET", bad)] == ["RNG-DET"]
+
+    @pytest.mark.parametrize("good", [
+        "import numpy as np\nrng = np.random.default_rng(seed)\n",
+        "import numpy as np\ng = np.random.Generator(np.random.PCG64(1))\n",
+        "from repro.rng import derive_rng\nrng = derive_rng(seed, 'fig5')\n",
+        "import numpy as np\nseq = np.random.SeedSequence(7)\n",
+    ])
+    def test_generator_construction_stays_clean(self, good):
+        assert findings_for("RNG-DET", good) == []
+
+    def test_rng_module_is_exempt(self):
+        bad = "import random\n"
+        assert findings_for("RNG-DET", bad, Path("src/repro/rng.py")) == []
+
+
+class TestLinkMut:
+    @pytest.mark.parametrize("bad", [
+        "table._pointer[da] = vpa\n",
+        "del reviver.links._inverse[vpa]\n",
+        "pool._spares.append(pa)\n",
+    ])
+    def test_foreign_internal_access_is_caught(self, bad):
+        assert [f.rule for f in findings_for("LINK-MUT", bad)] == ["LINK-MUT"]
+
+    @pytest.mark.parametrize("good", [
+        "self._pointer[da] = vpa\n",
+        "cls._spares = []\n",
+        "table.link(da, vpa)\n",
+        "pool.add(pas)\n",
+    ])
+    def test_own_state_and_api_calls_stay_clean(self, good):
+        assert findings_for("LINK-MUT", good) == []
+
+    def test_reviver_package_is_exempt(self):
+        bad = "table._pointer[da] = vpa\n"
+        assert findings_for(
+            "LINK-MUT", bad, Path("src/repro/reviver/chains.py")) == []
+
+
+class TestExcSwallow:
+    def test_bare_except_is_caught(self):
+        bad = "try:\n    step()\nexcept:\n    pass\n"
+        found = findings_for("EXC-SWALLOW", bad)
+        assert [f.rule for f in found] == ["EXC-SWALLOW"]
+        assert "bare except" in found[0].message
+
+    @pytest.mark.parametrize("bad", [
+        "try:\n    step()\nexcept Exception:\n    pass\n",
+        "try:\n    step()\nexcept BaseException as exc:\n    log(exc)\n",
+        "try:\n    step()\nexcept ReproError:\n    count += 1\n",
+        "try:\n    step()\nexcept (ValueError, Exception):\n    pass\n",
+        "try:\n    step()\nexcept errors.ReproError:\n    pass\n",
+    ])
+    def test_broad_handler_without_reraise_is_caught(self, bad):
+        assert [f.rule for f in findings_for("EXC-SWALLOW", bad)] \
+            == ["EXC-SWALLOW"]
+
+    @pytest.mark.parametrize("good", [
+        "try:\n    step()\nexcept Exception:\n    raise\n",
+        "try:\n    step()\nexcept Exception as exc:\n"
+        "    raise ProtocolError('wrapped') from exc\n",
+        "try:\n    step()\nexcept ValueError:\n    pass\n",
+        "try:\n    step()\nexcept CapacityExhaustedError:\n    stop()\n",
+    ])
+    def test_narrow_or_reraising_handlers_stay_clean(self, good):
+        assert findings_for("EXC-SWALLOW", good) == []
+
+
+class TestFloatEq:
+    @pytest.mark.parametrize("bad", [
+        "if mean == 0.0:\n    return 0.0\n",
+        "assert fraction != 1.0\n",
+        "ok = 0.5 == ratio\n",
+    ])
+    def test_float_literal_equality_is_caught(self, bad):
+        assert [f.rule for f in findings_for("FLOAT-EQ", bad)] == ["FLOAT-EQ"]
+
+    @pytest.mark.parametrize("good", [
+        "if count == 0:\n    return\n",
+        "if math.isclose(mean, 0.0):\n    return\n",
+        "if fraction <= 0.5:\n    stop()\n",
+        "flag = name == 'reviver'\n",
+    ])
+    def test_sanctioned_comparisons_stay_clean(self, good):
+        assert findings_for("FLOAT-EQ", good) == []

@@ -3,8 +3,13 @@
 Each test constructs a corrupted reviver world and asserts the matching
 theorem checker raises — the checkers are themselves safety-critical test
 infrastructure, so they get negative tests.
+
+Every violation test runs on **both** execution paths (scalar callables
+and the numpy sweeps) and must produce the same ``ProtocolError`` message,
+so regexes asserted here pin the message parity contract.
 """
 
+import numpy as np
 import pytest
 
 from repro.config import ReviverConfig
@@ -15,7 +20,8 @@ from repro.reviver import InvariantChecker, LinkTable, PageLedger, SparePool
 class World:
     """Hand-editable reviver state for violation construction."""
 
-    def __init__(self, blocks: int = 32) -> None:
+    def __init__(self, blocks: int = 32, vectorized: bool = False) -> None:
+        self.blocks = blocks
         self.mapping = {pa: pa for pa in range(blocks)}
         self.failed = set()
         ledger = PageLedger(ReviverConfig(), blocks_per_page=8,
@@ -24,27 +30,46 @@ class World:
         self.links = LinkTable(ledger)
         self.spares = SparePool()
         self.software = list(range(8, 24))
+        kwargs = {}
+        if vectorized:
+            kwargs = dict(map_many_fn=self._map_many,
+                          failed_mask_fn=self._failed_mask)
         self.checker = InvariantChecker(
             self.links, self.spares,
             map_fn=lambda pa: self.mapping[pa],
             is_failed=lambda da: da in self.failed,
             software_pas=lambda: self.software,
-            failed_blocks=lambda: sorted(self.failed))
+            failed_blocks=lambda: sorted(self.failed),
+            **kwargs)
+
+    def _map_many(self, pas):
+        return np.asarray([self.mapping[int(pa)] for pa in pas],
+                          dtype=np.int64)
+
+    def _failed_mask(self):
+        mask = np.zeros(self.blocks, dtype=bool)
+        mask[sorted(self.failed)] = True
+        return mask
+
+
+@pytest.fixture(params=[False, True], ids=["scalar", "vectorized"])
+def world(request):
+    w = World(vectorized=request.param)
+    assert w.checker.vectorized is request.param
+    return w
 
 
 class TestCleanState:
-    def test_empty_world_passes(self):
-        World().checker.check_all()
+    def test_empty_world_passes(self, world):
+        world.checker.check_all()
 
-    def test_one_healthy_link_passes(self):
-        world = World()
+    def test_one_healthy_link_passes(self, world):
         world.failed.add(10)
         world.mapping[2] = 25          # vpa 2 -> healthy shadow 25
         world.links.link(10, 2)
         world.checker.check_all()
 
-    def test_loop_passes_when_unreachable(self):
-        world = World()
+    def test_loop_passes_when_unreachable(self, world):
         world.failed.add(10)
         world.mapping[2] = 10          # PA-DA loop (bijection kept by swap)
         world.mapping[10] = 2
@@ -53,35 +78,32 @@ class TestCleanState:
 
 
 class TestViolations:
-    def test_unlinked_failed_block_caught(self):
-        world = World()
+    def test_unlinked_failed_block_caught(self, world):
         world.failed.add(10)
         with pytest.raises(ProtocolError, match="no virtual shadow"):
             world.checker.check_link_consistency()
 
-    def test_two_step_chain_caught(self):
-        world = World()
+    def test_two_step_chain_caught(self, world):
         world.failed.update({10, 11})
         world.mapping[2] = 11          # d10 -> vpa2 -> failed d11
         world.mapping[3] = 25
         world.links.link(10, 2)
         world.links.link(11, 3)
-        with pytest.raises(ProtocolError, match="two-step chain"):
+        with pytest.raises(ProtocolError,
+                           match=r"two-step chain: 10 -> PA 2 -> failed 11"):
             world.checker.check_chain_lengths()
 
-    def test_accessible_failed_without_healthy_shadow_caught(self):
-        world = World()
+    def test_accessible_failed_without_healthy_shadow_caught(self, world):
         world.failed.update({10, 25})
         world.mapping[2] = 25          # shadow itself failed
         world.mapping[5] = 25
         world.links.link(10, 2)
         world.links.link(25, 5)
         # PA 10 is software accessible and maps (identity) onto d10.
-        with pytest.raises(ProtocolError):
+        with pytest.raises(ProtocolError, match="lacks a healthy shadow"):
             world.checker.check_theorem1()
 
-    def test_spare_mapping_to_loop_caught(self):
-        world = World()
+    def test_spare_mapping_to_loop_caught(self, world):
         world.failed.add(10)
         world.mapping[2] = 10          # d10 on a loop with vpa 2
         world.links.link(10, 2)
@@ -91,8 +113,7 @@ class TestViolations:
         with pytest.raises(ProtocolError, match="loop block"):
             world.checker.check_theorem2()
 
-    def test_spare_indirectly_reaching_failed_caught(self):
-        world = World()
+    def test_spare_indirectly_reaching_failed_caught(self, world):
         world.failed.update({10, 11})
         world.mapping[2] = 11          # d10's "shadow" is failed d11
         world.mapping[4] = 25
@@ -103,8 +124,7 @@ class TestViolations:
         with pytest.raises(ProtocolError, match="indirectly"):
             world.checker.check_theorem2()
 
-    def test_loop_reachable_through_spare_caught(self):
-        world = World()
+    def test_loop_reachable_through_spare_caught(self, world):
         world.failed.add(10)
         world.mapping[2] = 10
         world.links.link(10, 2)
@@ -113,12 +133,109 @@ class TestViolations:
         with pytest.raises(ProtocolError, match="reachable through spare"):
             world.checker.check_theorem3()
 
-    def test_inverse_pointer_mismatch_caught(self):
-        world = World()
+    def test_inverse_pointer_mismatch_caught(self, world):
         world.failed.add(10)
         world.mapping[2] = 25
         world.links.link(10, 2)
         # Corrupt the inverse direction behind the table's back.
-        world.links._inverse[2] = 99
-        with pytest.raises(ProtocolError, match="inverse pointer"):
+        world.links._inverse[2] = 99  # repro: allow(LINK-MUT): deliberate corruption under test
+        with pytest.raises(ProtocolError,
+                           match="inverse pointer of PA 2 names 99"):
             world.checker.check_link_consistency()
+
+
+class TestStandaloneUnlinked:
+    """Each check_* method raises ProtocolError — never TypeError — when a
+    failed block has no link (the vpa-is-None case from PR 1's bug class)."""
+
+    def test_check_chain_lengths_unlinked(self, world):
+        world.failed.add(10)
+        with pytest.raises(ProtocolError, match="no virtual shadow"):
+            world.checker.check_chain_lengths()
+
+    def test_check_theorem3_unlinked(self, world):
+        world.failed.add(10)
+        with pytest.raises(ProtocolError, match="no virtual shadow"):
+            world.checker.check_theorem3()
+
+    def test_check_theorem1_unlinked(self, world):
+        world.failed.add(10)   # PA 10 is software-accessible, identity map
+        with pytest.raises(ProtocolError, match="unlinked"):
+            world.checker.check_theorem1()
+
+    def test_check_theorem2_unlinked(self, world):
+        world.failed.add(10)
+        world.spares.add([3])
+        world.mapping[3] = 10
+        with pytest.raises(ProtocolError, match="unlinked"):
+            world.checker.check_theorem2()
+
+    def test_no_type_error_escapes(self, world):
+        world.failed.add(10)
+        for check in (world.checker.check_all,
+                      world.checker.check_link_consistency,
+                      world.checker.check_chain_lengths,
+                      world.checker.check_theorem1,
+                      world.checker.check_theorem3):
+            with pytest.raises(ProtocolError):
+                check()
+
+
+class TestMessageParity:
+    """Scalar and vectorized paths raise byte-identical messages."""
+
+    @staticmethod
+    def _corrupt(world):
+        world.failed.update({10, 11})
+        world.mapping[2] = 11
+        world.mapping[3] = 25
+        world.links.link(10, 2)
+        world.links.link(11, 3)
+
+    def test_two_step_chain_messages_match(self):
+        messages = []
+        for vectorized in (False, True):
+            w = World(vectorized=vectorized)
+            self._corrupt(w)
+            with pytest.raises(ProtocolError) as err:
+                w.checker.check_chain_lengths()
+            messages.append(str(err.value))
+        assert messages[0] == messages[1]
+
+    def test_theorem1_messages_match(self):
+        messages = []
+        for vectorized in (False, True):
+            w = World(vectorized=vectorized)
+            w.failed.update({10, 25})
+            w.mapping[2] = 25
+            w.mapping[5] = 25
+            w.links.link(10, 2)
+            w.links.link(25, 5)
+            with pytest.raises(ProtocolError) as err:
+                w.checker.check_theorem1()
+            messages.append(str(err.value))
+        assert messages[0] == messages[1]
+
+
+class TestFastEngineInvariants:
+    """The fast engine runs its invariant subset at sampling points."""
+
+    def test_reviver_run_with_checks_enabled(self):
+        from .test_engines import make_fast
+        engine = make_fast(num_blocks=256, batch=1000)
+        engine.config.reviver = ReviverConfig(check_invariants=True)
+        engine.run()
+        assert engine.total_writes > 0
+        # The terminal state still satisfies the functional-chain subset.
+        engine.check_invariants()
+
+    def test_check_invariants_catches_corruption(self):
+        from .test_engines import make_fast
+        engine = make_fast(num_blocks=256, batch=1000)
+        engine.run()
+        if not engine.links:
+            pytest.skip("run produced no failures to corrupt")
+        da = next(iter(engine.links))
+        del engine.links[da]
+        with pytest.raises(ProtocolError, match="no virtual shadow"):
+            engine.check_invariants()
