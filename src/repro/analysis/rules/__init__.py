@@ -7,6 +7,7 @@ class it bans either shipped in a past PR or breaks a documented guarantee.
 
 from __future__ import annotations
 
-from . import exc_swallow, float_eq, link_mut, raw_geom, rng_det
+from . import exc_swallow, fault_hook, float_eq, link_mut, raw_geom, rng_det
 
-__all__ = ["exc_swallow", "float_eq", "link_mut", "raw_geom", "rng_det"]
+__all__ = ["exc_swallow", "fault_hook", "float_eq", "link_mut", "raw_geom",
+           "rng_det"]

@@ -14,6 +14,8 @@ behaves: the event interrupts the normal access path.
 
 from __future__ import annotations
 
+from typing import Optional
+
 
 class ReproError(Exception):
     """Base class for every exception raised by :mod:`repro`."""
@@ -60,6 +62,29 @@ class UncorrectableError(ReproError):
     def __init__(self, da: int, message: str = "") -> None:
         super().__init__(message or f"uncorrectable error at device address {da}")
         self.da = da
+
+
+class SimulatedCrash(ReproError):
+    """An injected controller power loss at a named protocol crash point.
+
+    Raised only by the fault-injection hooks (:mod:`repro.faultinject`);
+    the simulation engine catches it, discards the controller's volatile
+    state, and runs the recovery path.  Like :class:`WriteFault` this
+    models an event, not a bug.
+
+    Attributes
+    ----------
+    site:
+        Name of the crash point that fired (e.g. ``"after-link-write"``).
+    pa:
+        PA of an in-flight migration datum lost with the store buffer,
+        or ``None`` when no data write was in flight.
+    """
+
+    def __init__(self, site: str, pa: Optional[int] = None) -> None:
+        super().__init__(f"simulated crash at {site}")
+        self.site = site
+        self.pa = pa
 
 
 class SimulationEnded(ReproError):

@@ -1,0 +1,25 @@
+"""Deterministic fault injection for differential chaos campaigns.
+
+This package owns every way the simulated hardware is allowed to lie:
+seeded :class:`FaultSchedule` DSL records (pure data), the
+:class:`ScheduleDriver` that applies them to a live engine, and the
+campaign runner (``python -m repro.faultinject``) that fans seeded
+schedules across both engines and reports any divergence with the
+reproducing seed and schedule JSON.  Code outside this package must not
+touch the ``inject`` hooks — the FAULT-HOOK lint rule enforces that.
+"""
+
+from .hooks import ChipHooks, ControllerHooks, ScheduleDriver
+from .schedule import (ACTION_KINDS, CRASH_SITES, FaultAction, FaultSchedule,
+                       random_schedule)
+
+__all__ = [
+    "ACTION_KINDS",
+    "CRASH_SITES",
+    "ChipHooks",
+    "ControllerHooks",
+    "FaultAction",
+    "FaultSchedule",
+    "ScheduleDriver",
+    "random_schedule",
+]

@@ -1,0 +1,82 @@
+"""Campaign CLI: ``python -m repro.faultinject --seeds 100 --jobs 4``.
+
+Fans seeded differential chaos cells across the experiment process pool,
+aggregates coverage (crash sites fired, switch scenarios, recoveries,
+spare exhaustion), and exits non-zero when any cell diverged or raised —
+printing the offending seed and schedule JSON so the failure reproduces
+with ``run_cell(seed)`` or :func:`repro.faultinject.campaign.reproduce`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from ..experiments.parallel import Cell, CellOutcome, GridRunner
+from .campaign import render, summarize
+from .schedule import CRASH_SITES
+
+
+def _progress(outcome: CellOutcome, done: int, total: int) -> None:
+    status = "ok" if outcome.value.get("ok") else "FAIL"
+    cached = " (resumed)" if outcome.cached else ""
+    print(f"  [{done}/{total}] {outcome.key}: {status}{cached}",
+          file=sys.stderr)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.faultinject",
+        description="Differential fault-injection campaign over both engines")
+    parser.add_argument("--seeds", type=int, default=100,
+                        help="number of seeded schedules (default: 100)")
+    parser.add_argument("--first-seed", type=int, default=0,
+                        help="first seed of the range (default: 0)")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes (default: 1, in-process)")
+    parser.add_argument("--num-blocks", type=int, default=96,
+                        help="device blocks per cell chip (default: 96)")
+    parser.add_argument("--mean", type=float, default=250.0,
+                        help="mean block endurance (default: 250)")
+    parser.add_argument("--max-writes", type=int, default=40_000,
+                        help="software-write budget per engine (default: 40000)")
+    parser.add_argument("--resume", type=str, default=None,
+                        help="JSON file persisting finished cells")
+    parser.add_argument("--json", dest="json_out", type=str, default=None,
+                        help="write the aggregate summary to this file")
+    parser.add_argument("--quiet", action="store_true",
+                        help="suppress per-cell progress lines")
+    args = parser.parse_args(argv)
+
+    cells = [
+        Cell(key=f"chaos/{seed}", fn="repro.faultinject.campaign:run_cell",
+             kwargs={"seed": seed, "num_blocks": args.num_blocks,
+                     "mean": args.mean, "max_writes": args.max_writes})
+        for seed in range(args.first_seed, args.first_seed + args.seeds)
+    ]
+    runner = GridRunner(jobs=args.jobs, resume=args.resume,
+                        progress=None if args.quiet else _progress)
+    results = runner.run(cells)
+    summary = summarize([results[cell.key] for cell in cells])
+    print(render(summary))
+
+    uncovered = [site for site in CRASH_SITES
+                 if not summary["crash_sites_fired"].get(site)]
+    if uncovered:
+        print(f"  WARNING: crash sites never fired: {uncovered} "
+              f"(enlarge --seeds or shrink --mean)")
+    unswitched = [name for name, count in summary["switch_scenarios"].items()
+                  if not count]
+    if unswitched:
+        print(f"  WARNING: switch scenarios never exercised: {unswitched}")
+
+    if args.json_out:
+        with open(args.json_out, "w") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+    return 1 if summary["failed"] else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,249 @@
+"""Differential chaos campaigns: one schedule, two engines, one verdict.
+
+A campaign cell regenerates a seeded :class:`~repro.faultinject.schedule.
+FaultSchedule` (asserting byte-identical reproduction), then drives the
+exact and the fast engine through it on statistically identical hardware
+and workload.  The exact side runs with full data verification, final
+invariant checking, crash points, and recovery; the fast side exercises
+the same forced failures and spare exhaustion.  A cell fails — carrying
+its seed and the schedule JSON needed to reproduce it — when either
+engine raises, an invariant breaks, data corrupts, or the two lifetimes
+diverge beyond a generous band.
+
+Cells are plain module-level functions over JSON-serializable kwargs so
+:class:`~repro.experiments.parallel.GridRunner` can fan them across
+processes and resume interrupted campaigns.
+"""
+
+from __future__ import annotations
+
+import traceback
+from typing import Any, Dict, Optional
+
+from ..config import ReviverConfig
+from ..ecc import ECP
+from ..errors import ConfigurationError
+from ..mc import ReviverController
+from ..osmodel import PagePool
+from ..pcm import AddressGeometry, EnduranceModel, PCMChip
+from ..sim import ExactEngine, FastConfig, FastEngine
+from ..traces import hotspot_distribution
+from ..wl import StartGap
+from .hooks import ScheduleDriver
+from .schedule import FaultSchedule, random_schedule
+
+#: Fast/exact lifetime ratio band the differential oracle accepts.  The
+#: engines approximate each other (documented in :mod:`repro.sim.fast`);
+#: under injected chaos the band is generous — the oracle's teeth are the
+#: invariant checks, data verification, and ProtocolError detection.
+RATIO_BAND = (0.2, 5.0)
+
+
+def _exact_system(seed: int, num_blocks: int, mean: float) -> ExactEngine:
+    geometry = AddressGeometry(num_blocks=num_blocks, block_bytes=64,
+                               page_bytes=512)
+    endurance = EnduranceModel(num_blocks=num_blocks, mean=mean, cov=0.25,
+                               max_order=8, seed=11 + seed)
+    chip = PCMChip(geometry, ECP(endurance, 1), track_contents=True)
+    wl = StartGap(num_blocks)
+    ospool = PagePool(wl.logical_blocks, blocks_per_page=8,
+                      utilization=1.0, seed=5)
+    controller = ReviverController(
+        chip, wl, ospool,
+        reviver_config=ReviverConfig(check_invariants=False),
+        copy_on_retire=True)
+    trace = hotspot_distribution(ospool.virtual_blocks, 4.0, seed=6 + seed)
+    return ExactEngine(controller, trace, dead_fraction=0.3,
+                       sample_interval=2_000, verify=True,
+                       read_fraction=0.25)
+
+
+def _fast_system(seed: int, num_blocks: int, mean: float,
+                 max_writes: int) -> FastEngine:
+    geometry = AddressGeometry(num_blocks=num_blocks, block_bytes=64,
+                               page_bytes=512)
+    endurance = EnduranceModel(num_blocks=num_blocks, mean=mean, cov=0.25,
+                               max_order=8, seed=11 + seed)
+    chip = PCMChip(geometry, ECP(endurance, 1))
+    wl = StartGap(num_blocks)
+    trace = hotspot_distribution(wl.logical_blocks, 4.0, seed=6 + seed)
+    config = FastConfig(recovery="reviver", batch_writes=500,
+                        blocks_per_page=8, dead_fraction=0.3,
+                        max_writes=max_writes, seed=6 + seed)
+    return FastEngine(chip, wl, trace, config)
+
+
+def _schedule_horizon(num_blocks: int, mean: float, max_writes: int) -> int:
+    """Write horizon inside which scheduled actions can still fire.
+
+    Actions pinned past the chip's natural lifetime never apply, so the
+    horizon tracks the endurance budget (a conservative sixteenth of the
+    total cell endurance — under a hot workload the chip reaches its dead
+    fraction within roughly a tenth, so every action lands while the
+    system is alive and still has life left to diverge in).
+    """
+    return max(100, min(max_writes, int(mean) * num_blocks // 16))
+
+
+def run_cell(seed: int, num_blocks: int = 96, mean: float = 250.0,
+             max_writes: int = 40_000) -> Dict[str, Any]:
+    """Run one differential chaos cell; returns a JSON-ready verdict."""
+    horizon = _schedule_horizon(num_blocks, mean, max_writes)
+    schedule = random_schedule(seed, num_blocks, horizon)
+    replay = random_schedule(seed, num_blocks, horizon)
+    if replay.to_json() != schedule.to_json():
+        raise ConfigurationError(
+            f"schedule for seed {seed} did not reproduce byte-identically")
+    result: Dict[str, Any] = {
+        "seed": seed,
+        "schedule_json": schedule.to_json(),
+        "ok": True,
+        "failure": None,
+    }
+
+    # --- exact engine: crash points, recovery, data verification ----------
+    exact = _exact_system(seed, num_blocks, mean)
+    exact_driver = ScheduleDriver(schedule).attach_exact(exact)
+    try:
+        exact_summary = exact.run(max_writes=max_writes)
+        exact.verify_all()
+        exact.controller.check_invariants()
+    except Exception as exc:  # repro: allow(EXC-SWALLOW): campaign cells turn any engine exception into a reproducible failure record
+        result["ok"] = False
+        result["failure"] = {
+            "stage": "exact",
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+        }
+        return result
+    controller = exact.controller
+    assert isinstance(controller, ReviverController)
+    reviver = controller.reviver
+    result["exact"] = {
+        "lifetime_writes": exact_summary.lifetime_writes,
+        "stopped": exact.stopped_reason,
+        "report": exact.end_of_life_report().as_dict(),
+        "crash_sites_fired": list(exact_driver.controller_hooks.fired),
+        "recoveries": reviver.recoveries,
+        "recovery_redo_writes": reviver.recovery_redo_writes,
+        "switch_scenarios": dict(reviver.switch_scenarios),
+        "read_errors_delivered": exact_driver.chip_hooks.delivered,
+        "spares_drained": exact_driver.spares_drained,
+        "victimized_writes": reviver.reporter.victimized_count,
+        "actions_applied": len(exact_driver.applied),
+    }
+
+    # --- fast engine: same schedule, same hardware statistics -------------
+    fast = _fast_system(seed, num_blocks, mean, max_writes)
+    fast_driver = ScheduleDriver(schedule).attach_fast(fast)
+    try:
+        fast_summary = fast.run()
+        if fast.links:
+            fast.check_invariants()
+    except Exception as exc:  # repro: allow(EXC-SWALLOW): campaign cells turn any engine exception into a reproducible failure record
+        result["ok"] = False
+        result["failure"] = {
+            "stage": "fast",
+            "error": f"{type(exc).__name__}: {exc}",
+            "traceback": traceback.format_exc(),
+        }
+        return result
+    result["fast"] = {
+        "lifetime_writes": fast_summary.lifetime_writes,
+        "stopped": fast.stopped_reason,
+        "report": fast.end_of_life_report().as_dict(),
+        "spares_drained": fast_driver.spares_drained,
+        "actions_applied": len(fast_driver.applied),
+    }
+
+    # --- differential oracle ----------------------------------------------
+    ratio = (fast_summary.lifetime_writes
+             / max(exact_summary.lifetime_writes, 1))
+    result["ratio"] = ratio
+    low, high = RATIO_BAND
+    if not low < ratio < high:
+        result["ok"] = False
+        result["failure"] = {
+            "stage": "differential",
+            "error": (f"lifetime divergence: fast/exact ratio {ratio:.3f} "
+                      f"outside ({low}, {high}) — exact "
+                      f"{exact_summary.lifetime_writes}, fast "
+                      f"{fast_summary.lifetime_writes}"),
+        }
+    return result
+
+
+def reproduce(schedule_json: str, seed: int, num_blocks: int = 96,
+              mean: float = 250.0, max_writes: int = 40_000) -> Dict[str, Any]:
+    """Re-run a failing cell from its reported schedule JSON.
+
+    The parsed schedule must match the seed's regenerated one — a
+    mismatch means the report and the seed drifted apart and the run
+    would not reproduce the original failure.
+    """
+    parsed = FaultSchedule.from_json(schedule_json)
+    regenerated = random_schedule(
+        seed, num_blocks, _schedule_horizon(num_blocks, mean, max_writes))
+    if parsed.to_json() != regenerated.to_json():
+        raise ConfigurationError(
+            f"schedule JSON does not match seed {seed}'s regeneration")
+    return run_cell(seed, num_blocks=num_blocks, mean=mean,
+                    max_writes=max_writes)
+
+
+def summarize(results: "list[Dict[str, Any]]") -> Dict[str, Any]:
+    """Aggregate campaign coverage and failures across cell results."""
+    failures = [r for r in results if not r.get("ok")]
+    sites: Dict[str, int] = {}
+    scenarios: Dict[str, int] = {}
+    recoveries = 0
+    exhausts = 0
+    read_errors = 0
+    victimized = 0
+    for r in results:
+        exact = r.get("exact")
+        if not exact:
+            continue
+        for site in exact["crash_sites_fired"]:
+            sites[site] = sites.get(site, 0) + 1
+        for name, count in exact["switch_scenarios"].items():
+            scenarios[name] = scenarios.get(name, 0) + count
+        recoveries += exact["recoveries"]
+        if exact["spares_drained"]:
+            exhausts += 1
+        read_errors += exact["read_errors_delivered"]
+        victimized += exact["victimized_writes"]
+    return {
+        "cells": len(results),
+        "failed": len(failures),
+        "failures": failures,
+        "crash_sites_fired": sites,
+        "switch_scenarios": scenarios,
+        "recoveries": recoveries,
+        "cells_with_spare_exhaustion": exhausts,
+        "read_errors_delivered": read_errors,
+        "victimized_writes": victimized,
+    }
+
+
+def render(summary: Dict[str, Any]) -> str:
+    """Human-readable campaign report; failing schedules printed in full."""
+    lines = [
+        f"chaos campaign: {summary['cells']} cells, "
+        f"{summary['failed']} failed",
+        f"  crash sites fired: {summary['crash_sites_fired']}",
+        f"  switch scenarios:  {summary['switch_scenarios']}",
+        f"  recoveries: {summary['recoveries']}  "
+        f"spare-exhaustion cells: {summary['cells_with_spare_exhaustion']}  "
+        f"read errors: {summary['read_errors_delivered']}  "
+        f"victimized: {summary['victimized_writes']}",
+    ]
+    for failure in summary["failures"]:
+        info = failure.get("failure") or {}
+        lines.append(f"  FAIL seed={failure['seed']} "
+                     f"stage={info.get('stage')}: {info.get('error')}")
+        lines.append(f"    schedule: {failure['schedule_json']}")
+        if info.get("traceback"):
+            lines.append("    " + "\n    ".join(
+                info["traceback"].rstrip().splitlines()))
+    return "\n".join(lines)

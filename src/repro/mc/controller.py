@@ -24,18 +24,26 @@ from __future__ import annotations
 
 import abc
 from collections import OrderedDict
-from typing import List, Optional, Set, Tuple
+from typing import List, Optional, Set, Tuple, TYPE_CHECKING
 
 from ..config import ReviverConfig
-from ..errors import ProtocolError, WriteFault
+from ..errors import (ProtocolError, SimulatedCrash, UncorrectableError,
+                      WriteFault)
 from ..ecc.freep import FreePRegion
 from ..osmodel.allocator import PagePool
 from ..osmodel.faults import FaultReporter
 from ..pcm.chip import PCMChip
+from ..reviver.persist import DurableMetadata
 from ..reviver.reviver import FaultContext, WLReviver
 from ..wl.base import WearLeveler
 from .access import AccessResult, AccessStats
 from .cache import RemapCache
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..faultinject.hooks import ControllerHooks
+
+#: Bounded retries for transient (correctable-on-retry) read errors.
+READ_RETRY_LIMIT = 8
 
 
 class BaseController(abc.ABC):
@@ -62,6 +70,13 @@ class BaseController(abc.ABC):
         self.lost_vblocks: Set[int] = set()
         #: Physical migration writes performed.
         self.migration_writes = 0
+        #: Fault-injection crash hooks; ``None`` (the default) disables
+        #: every crash point.  Only :mod:`repro.faultinject` may set this.
+        self.inject: Optional["ControllerHooks"] = None
+        #: Simulated power losses survived via :meth:`crash_and_recover`.
+        self.crashes_recovered = 0
+        #: Transient read errors absorbed by bounded retry.
+        self.transient_read_errors = 0
 
     # ------------------------------------------------------- subclass hooks
 
@@ -101,6 +116,43 @@ class BaseController(abc.ABC):
 
     def _after_fault_handled(self) -> None:
         """Hook run after software-fault handling (metadata drains)."""
+
+    # ------------------------------------------------------------ device I/O
+
+    def _read_block(self, da: int) -> int:
+        """Read block *da*, retrying bounded on transient read errors.
+
+        Transient :class:`~repro.errors.UncorrectableError`\\ s (soft read
+        disturbs, injected or otherwise) are retryable: the cells hold the
+        data, re-sensing succeeds.  Each retry costs one extra PCM access.
+        """
+        for _ in range(READ_RETRY_LIMIT):
+            try:
+                return self.chip.read(da)
+            except UncorrectableError:
+                self.transient_read_errors += 1
+                self.stats.pcm_accesses += 1
+        raise ProtocolError(
+            f"block {da} failed {READ_RETRY_LIMIT} consecutive read retries")
+
+    # -------------------------------------------------------- crash recovery
+
+    def crash_and_recover(self, crash: Optional[SimulatedCrash] = None) -> None:
+        """Model a power loss: drop all volatile state, then rebuild.
+
+        The base controller has nothing durable to rebuild *from* — the
+        store buffer and remap cache are simply gone.  Parked migration
+        data that never reached the PCM is recorded lost, exactly like a
+        real machine losing its write queue.
+        """
+        if crash is not None and crash.pa is not None:
+            self._record_lost_pa(crash.pa)
+        for pa in list(self._parked):
+            self._record_lost_pa(pa)
+        self._parked.clear()
+        if self.cache is not None:
+            self.cache.clear()
+        self.crashes_recovered += 1
 
     # --------------------------------------------------------- software path
 
@@ -162,7 +214,7 @@ class BaseController(abc.ABC):
                                   redirected=redirected)
         else:
             result = AccessResult(vblock=vblock, pa=pa, da=final,
-                                  pcm_accesses=cost, tag=self.chip.read(final),
+                                  pcm_accesses=cost, tag=self._read_block(final),
                                   redirected=redirected)
         self.stats.record(result, is_write=False)
         return result
@@ -179,7 +231,7 @@ class BaseController(abc.ABC):
         if pa is not None and pa in self._parked:
             return self._parked[pa]
         target = self._read_resolve(da)
-        return self.chip.read(target)
+        return self._read_block(target)
 
     def _read_resolve(self, da: int) -> int:
         """Redirection for migration reads; defaults to no redirection."""
@@ -187,6 +239,8 @@ class BaseController(abc.ABC):
 
     def write_migration_pa(self, pa: int, tag: int) -> None:
         """Port hook: store *tag* as PA *pa*'s data under the new mapping."""
+        if self.inject is not None:
+            self.inject.crash_point("mid-migration", pa=pa)
         while True:
             target = self._migration_resolve(pa)
             if target is None:
@@ -302,6 +356,9 @@ class ReviverController(BaseController):
         # The OS copies a retired page's data out before the reviver may
         # repurpose the page's PAs (ordering is data-critical).
         self.reviver.page_copier = self._handle_page_moves
+        #: Mirror of the pointer/inverse cells as physically written; this
+        #: is what survives a crash and what recovery scans.
+        self.durable = DurableMetadata()
 
     # ------------------------------------------------------------ resolution
 
@@ -331,18 +388,18 @@ class ReviverController(BaseController):
         while self.chip.is_failed(da):
             vpa = self.reviver.links.vpa_of(da)
             if vpa is None:
-                return self.chip.read(da)  # fresh failure: data was destroyed
+                return self._read_block(da)  # fresh failure: data destroyed
             if vpa in self._parked:
                 # The shadow datum is still in flight in the store buffer.
                 return self._parked[vpa]
             nxt = self.wl.map(vpa)
             if nxt == da:
-                return self.chip.read(da)  # loop: garbage by construction
+                return self._read_block(da)  # loop: garbage by construction
             da = nxt
             hops += 1
             if hops > 64:
                 raise ProtocolError("chain walk did not terminate")
-        return self.chip.read(da)
+        return self._read_block(da)
 
     def _migration_resolve(self, pa: int) -> Optional[int]:
         """Lenient chain walk for internal (migration/copy) writes.
@@ -409,18 +466,33 @@ class ReviverController(BaseController):
         self._drain_metadata()
 
     def _drain_metadata(self) -> None:
-        """Apply the physical metadata writes the link table emitted."""
+        """Apply the physical metadata writes the link table emitted.
+
+        Each record becomes durable the moment its physical write lands
+        (:attr:`durable` is updated record-by-record), so an injected crash
+        between any two records leaves exactly the written prefix in the
+        PCM — which is the torn state :meth:`crash_and_recover` must mend.
+        """
         for record in self.reviver.links.drain_writes():
             if record.kind == "pointer":
                 # Pointer cells live in the failed block itself.
                 self.chip.write_metadata(record.location)
                 if self.cache is not None:
                     self.cache.invalidate(record.location)
+                self.durable.apply(record)
+                self.stats.metadata_writes += 1
+                if self.inject is not None:
+                    self.inject.crash_point("after-link-write",
+                                            pa=record.vpa)
             else:
+                if self.inject is not None:
+                    self.inject.crash_point("before-inverse-write",
+                                            pa=record.vpa)
                 # Inverse pointers live in the block mapped by a
                 # pointer-section PA; route through the normal machinery.
                 self._write_pointer_block(record.location)
-            self.stats.metadata_writes += 1
+                self.durable.apply(record)
+                self.stats.metadata_writes += 1
 
     def _write_pointer_block(self, pointer_pa: int) -> None:
         """Wear the block backing an inverse-pointer PA."""
@@ -437,6 +509,36 @@ class ReviverController(BaseController):
                     # Pointer data is rebuildable by scanning (Section
                     # III-B); drop rather than park metadata.
                     return
+
+    # -------------------------------------------------------- crash recovery
+
+    def crash_and_recover(self, crash: Optional[SimulatedCrash] = None) -> None:
+        """Power loss + Section III-B reboot: rebuild links by scanning.
+
+        The link table and spare registers are volatile and gone; the
+        durable truth is the retired-page bitmap plus the pointer and
+        inverse-pointer cells sitting in the PCM (:attr:`durable`).  The
+        reviver rescans them, completes any torn metadata update, and the
+        Theorem 1-3 invariants are re-checked unconditionally before the
+        controller resumes service.
+        """
+        super().crash_and_recover(crash)
+        # Recovery itself must not trip armed crash points or read errors:
+        # the machine is rebooting, the injection campaign resumes after.
+        hooks, self.inject = self.inject, None
+        chip_hooks, self.chip.inject = self.chip.inject, None  # repro: allow(FAULT-HOOK): the rebooting controller detaches its own chip's hooks for the recovery window
+        try:
+            self.reviver.recover(
+                self.durable,
+                failed_das=[int(d) for d in self.chip.failed.nonzero()[0]],
+                pas_of_page=self.ospool.pas_of_page)
+            # Complete any interrupted metadata update (redo writes emitted
+            # by the scan) and any switches the rebuilt chains still owe.
+            self._drain_metadata()
+        finally:
+            self.inject = hooks
+            self.chip.inject = chip_hooks  # repro: allow(FAULT-HOOK): reattaching the hooks detached above; the campaign resumes after reboot
+        self.check_invariants()
 
     # -------------------------------------------------------------- checking
 

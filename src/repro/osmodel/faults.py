@@ -14,6 +14,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import List, Optional
 
+from ..errors import AddressError, ProtocolError
 from .allocator import PagePool
 
 
@@ -45,8 +46,22 @@ class FaultReporter:
 
         Returns the PAs of the retired page — the implicitly reserved
         virtual space the caller (WL-Reviver) may claim.
+
+        Raises :class:`~repro.errors.AddressError` for a PA outside the
+        paged software space and :class:`~repro.errors.ProtocolError` for
+        a page the OS already retired (it would never access such a page
+        again, so a report against it is a device-side protocol bug, not
+        an OS event).  Failed reports log no event and leave the pool
+        untouched — victimization accounting only ever counts reports the
+        OS actually acted on.
         """
+        if not self.pool.pa_in_software_space(pa):
+            raise AddressError(f"PA {pa} outside the paged software space")
         page_id = self.pool.page_of_pa(pa)
+        if not self.pool.is_usable(page_id):
+            raise ProtocolError(
+                f"access error reported for PA {pa} on page {page_id}, "
+                f"which the OS already retired")
         pas = self.pool.retire(page_id)
         self.events.append(FaultEvent(at_write=at_write, pa=pa,
                                       page_id=page_id, victimized=victimized))

@@ -30,6 +30,7 @@ from .geometry import AddressGeometry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from ..ecc.base import ErrorCorrection
+    from ..faultinject.hooks import ChipHooks
 
 #: Tag value meaning "no valid data stored".
 EMPTY_TAG = -1
@@ -50,6 +51,9 @@ class PCMChip:
             self.contents = np.full(n, EMPTY_TAG, dtype=np.int64)
         #: Total physical writes applied to the device (including migrations).
         self.total_device_writes = 0
+        #: Fault-injection hooks; ``None`` (the default) means no injection.
+        #: Only :mod:`repro.faultinject` may set this.
+        self.inject: Optional["ChipHooks"] = None
 
     # ------------------------------------------------------------ inspection
 
@@ -109,8 +113,15 @@ class PCMChip:
             self.contents[da] = tag
 
     def read(self, da: int) -> int:
-        """Read the content tag of block *da* (``EMPTY_TAG`` if untracked)."""
+        """Read the content tag of block *da* (``EMPTY_TAG`` if untracked).
+
+        Raises :class:`~repro.errors.UncorrectableError` when an injected
+        transient read error is armed for *da* (retryable: the data is
+        intact, the controller re-reads).
+        """
         self.geometry.check_block(da)
+        if self.inject is not None:
+            self.inject.on_read(da)
         if self.contents is None:
             return EMPTY_TAG
         return int(self.contents[da])

@@ -36,6 +36,10 @@ class MetadataWrite:
     #: the pointer-section block that holds the entry (the controller
     #: resolves it to a DA through the current mapping).
     location: int
+    #: Payload — the virtual shadow PA this record stores (both kinds).
+    vpa: Optional[int] = None
+    #: Payload — the failed DA an ``inverse`` record stores.
+    da: Optional[int] = None
 
 
 class LinkTable:
@@ -95,9 +99,10 @@ class LinkTable:
             raise ProtocolError(f"PA {vpa} is already a virtual shadow")
         self._pointer[da] = vpa
         self._inverse[vpa] = da
-        self.pending_writes.append(MetadataWrite("pointer", da))
+        self.pending_writes.append(MetadataWrite("pointer", da, vpa=vpa))
         self.pending_writes.append(
-            MetadataWrite("inverse", self.ledger.pointer_home(vpa)))
+            MetadataWrite("inverse", self.ledger.pointer_home(vpa),
+                          vpa=vpa, da=da))
 
     def switch(self, da_a: int, da_b: int) -> None:
         """Exchange the virtual shadows of two failed blocks.
@@ -113,12 +118,37 @@ class LinkTable:
             raise ProtocolError("switch() requires two linked blocks") from exc
         self._pointer[da_a], self._pointer[da_b] = vpa_b, vpa_a
         self._inverse[vpa_a], self._inverse[vpa_b] = da_b, da_a
-        self.pending_writes.append(MetadataWrite("pointer", da_a))
-        self.pending_writes.append(MetadataWrite("pointer", da_b))
+        self.pending_writes.append(MetadataWrite("pointer", da_a, vpa=vpa_b))
+        self.pending_writes.append(MetadataWrite("pointer", da_b, vpa=vpa_a))
         self.pending_writes.append(
-            MetadataWrite("inverse", self.ledger.pointer_home(vpa_a)))
+            MetadataWrite("inverse", self.ledger.pointer_home(vpa_a),
+                          vpa=vpa_a, da=da_b))
         self.pending_writes.append(
-            MetadataWrite("inverse", self.ledger.pointer_home(vpa_b)))
+            MetadataWrite("inverse", self.ledger.pointer_home(vpa_b),
+                          vpa=vpa_b, da=da_a))
+
+    def restore(self, da: int, vpa: int, redo_pointer: bool = False,
+                redo_inverse: bool = False) -> None:
+        """Reinstall a link recovered from the in-PCM metadata scan.
+
+        Recovery (Section III-B's reboot path) rebuilds the table from the
+        bits already sitting in the PCM, so restoring a link emits *no*
+        writes — except when a torn update left one side stale:
+        ``redo_pointer`` / ``redo_inverse`` re-emit that single record so
+        the controller can complete the interrupted operation.
+        """
+        if da in self._pointer:
+            raise ProtocolError(f"block {da} is already linked")
+        if vpa in self._inverse:
+            raise ProtocolError(f"PA {vpa} is already a virtual shadow")
+        self._pointer[da] = vpa
+        self._inverse[vpa] = da
+        if redo_pointer:
+            self.pending_writes.append(MetadataWrite("pointer", da, vpa=vpa))
+        if redo_inverse:
+            self.pending_writes.append(
+                MetadataWrite("inverse", self.ledger.pointer_home(vpa),
+                              vpa=vpa, da=da))
 
     def drain_writes(self) -> List[MetadataWrite]:
         """Return and clear the pending metadata writes."""

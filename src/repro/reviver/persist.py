@@ -1,0 +1,54 @@
+"""The durable (in-PCM) view of the reviver's link metadata.
+
+The link table and spare registers are *volatile* controller state; what
+survives a power loss is exactly what was physically written to the PCM
+(Section III-B):
+
+* the **pointer cells** — each failed block's surviving cells hold the PA
+  of its virtual shadow;
+* the **inverse-pointer cells** — each acquired page's pointer section
+  holds, per shadow slot, the DA of the failed block it serves;
+* the replicated retired-page bitmap
+  (:class:`~repro.reviver.bitmap.RetiredPageBitmap`), which is durable by
+  construction and modeled separately.
+
+:class:`DurableMetadata` mirrors the first two.  The controller applies
+each :class:`~repro.reviver.links.MetadataWrite` record here immediately
+after performing the corresponding physical write, so at any crash point
+the store holds precisely the prefix of metadata updates that became
+durable — which is what :meth:`~repro.reviver.reviver.WLReviver.recover`
+scans to rebuild the volatile state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..errors import ProtocolError
+from .links import MetadataWrite
+
+
+class DurableMetadata:
+    """Pointer and inverse-pointer cell contents, as last written to PCM."""
+
+    def __init__(self) -> None:
+        #: failed DA -> VPA its pointer cells name.
+        self.pointer_cells: Dict[int, int] = {}
+        #: shadow VPA -> failed DA its inverse-pointer entry names.
+        self.inverse_cells: Dict[int, int] = {}
+
+    def apply(self, record: MetadataWrite) -> None:
+        """Record one completed physical metadata write."""
+        if record.kind == "pointer":
+            if record.vpa is None:
+                raise ProtocolError("pointer record carries no VPA payload")
+            self.pointer_cells[record.location] = record.vpa
+        elif record.kind == "inverse":
+            if record.vpa is None or record.da is None:
+                raise ProtocolError("inverse record carries no payload")
+            self.inverse_cells[record.vpa] = record.da
+        else:
+            raise ProtocolError(f"unknown metadata record kind {record.kind!r}")
+
+    def __len__(self) -> int:
+        return len(self.pointer_cells) + len(self.inverse_cells)

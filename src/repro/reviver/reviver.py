@@ -29,7 +29,7 @@ performs the physical metadata writes itself.
 from __future__ import annotations
 
 import enum
-from typing import Callable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
 
 import numpy as np
 
@@ -41,6 +41,7 @@ from .chains import ChainResolver, Resolution
 from .invariants import InvariantChecker
 from .links import LinkTable
 from .pages import AcquiredPage, PageLedger
+from .persist import DurableMetadata
 from .registers import SparePool
 
 
@@ -83,6 +84,18 @@ class WLReviver:
         self._unlinked_failures: List[int] = []
         #: Failures hidden without interrupting the OS (reporting).
         self.hidden_failures = 0
+        #: Chain switches attributed to the two Section III-B scenarios:
+        #: a worn-out shadow behind a software write (Figure 2(d)) versus
+        #: a wear-leveling migration remapping onto a failed block
+        #: (Figure 3(b)).  Recovery re-reductions are counted separately.
+        self.switch_scenarios: Dict[str, int] = {
+            "shadow-failed": 0, "migration-remap": 0}
+        #: Crash recoveries performed (:meth:`recover`).
+        self.recoveries = 0
+        #: Metadata records re-emitted by recovery to complete torn updates
+        #: (bounded by the writes in flight at the crash; recovered links
+        #: themselves never need rewriting — the paper's reboot claim).
+        self.recovery_redo_writes = 0
         #: Optional controller hook run after the OS retires a page but
         #: before its PAs become spares: the OS must copy the page's data
         #: to its new frame while the old blocks are still untouched.
@@ -160,6 +173,7 @@ class WLReviver:
 
     def _link(self, da: int) -> None:
         """Link *da* to a spare and restore the one-step property."""
+        switches_before = self.resolver.switches
         mapped_by = self.inverse_fn(da)
         if mapped_by is not None and mapped_by in self.spares:
             # The PA owning the data "stored" in da is an unlinked spare:
@@ -176,16 +190,115 @@ class WLReviver:
             if upstream is not None and upstream != da:
                 # A chain ran through da before it failed; flatten it.
                 self.resolver.reduce(upstream)
+        self.switch_scenarios["shadow-failed"] += (
+            self.resolver.switches - switches_before)
 
     # --------------------------------------------------------- mapping events
 
     def on_mapping_changed(self, pas: List[int]) -> None:
         """Re-flatten chains after the wear-leveler remapped *pas*."""
+        switches_before = self.resolver.switches
         for pa in pas:
             if self.links.is_linked_vpa(pa):
                 owner = self.links.failed_of(pa)
                 if owner is not None:
                     self.resolver.reduce(owner)
+        self.switch_scenarios["migration-remap"] += (
+            self.resolver.switches - switches_before)
+
+    # --------------------------------------------------------------- recovery
+
+    def recover(self, durable: DurableMetadata, failed_das: Iterable[int],
+                pas_of_page: Callable[[int], Sequence[int]]) -> None:
+        """Rebuild the volatile link table and registers after a crash.
+
+        Everything volatile is discarded and re-derived from what is
+        durable in the PCM: the retired-page bitmap (which pages are
+        ours), the inverse-pointer cells in each page's pointer section
+        (the authoritative link direction the paper's reboot scan reads),
+        the pointer cells in the failed blocks, and the chip's failure
+        flags.  Reconciliation handles the one metadata operation that can
+        be torn mid-flight:
+
+        1. an inverse cell agreeing with its pointer cell is a clean link
+           — restored without any write;
+        2. an inverse cell whose pointer cell disagrees (a switch torn
+           after rewriting the pointers) is restored from the inverse —
+           the authority — and the stale pointer cell is redone;
+        3. a pointer cell naming a shadow slot no inverse claims (a link
+           torn before its inverse write) is completed by redoing that
+           inverse write;
+        4. unclaimed shadow slots refill the spare registers; failed
+           blocks left unlinked re-enter :meth:`handle_new_failure` as
+           in-flight failures; finally every chain is reduced back to one
+           step, re-performing any switch the crash interrupted.
+
+        Register order is re-derived in ascending page order — equivalent
+        to the paper's two-register bounds, though not necessarily the
+        pre-crash FIFO order.  Cumulative statistics (switches, hidden
+        failures, reports) survive; they describe the chip's life, not the
+        controller's uptime.
+        """
+        switches = self.resolver.switches
+        self.spares = SparePool()
+        self.ledger = PageLedger(self.config, self.ledger.blocks_per_page,
+                                 self.ledger.block_bytes)
+        self.links = LinkTable(self.ledger)
+        self.resolver = ChainResolver(self.links, self.map_fn, self.is_failed)
+        self.resolver.switches = switches
+        self.acquisition_pending = False
+        self._unlinked_failures = []
+        shadow_slots: List[int] = []
+        for page_id in self.bitmap.retired_pages():
+            page = self.ledger.claim(page_id, list(pas_of_page(page_id)))
+            shadow_slots.extend(page.shadow_pas)
+        failed = set(failed_das)
+        linked: Set[int] = set()
+        used: Set[int] = set()
+        redo = 0
+        # Pass 1: agreeing pairs — the common case (no write in flight).
+        for vpa in shadow_slots:
+            da = durable.inverse_cells.get(vpa)
+            if (da is not None and da in failed and da not in linked
+                    and durable.pointer_cells.get(da) == vpa):
+                self.links.restore(da, vpa)
+                linked.add(da)
+                used.add(vpa)
+        # Pass 2: the inverse pointer is the authority; a disagreeing
+        # pointer cell was torn mid-switch and is redone.
+        for vpa in shadow_slots:
+            if vpa in used:
+                continue
+            da = durable.inverse_cells.get(vpa)
+            if da is None or da not in failed or da in linked:
+                continue
+            self.links.restore(da, vpa, redo_pointer=True)
+            linked.add(da)
+            used.add(vpa)
+            redo += 1
+        # Pass 3: a pointer cell naming an unclaimed shadow slot is a link
+        # whose inverse write never landed; complete it.
+        slot_set = set(shadow_slots)
+        for da in sorted(failed - linked):
+            vpa = durable.pointer_cells.get(da)
+            if vpa is None or vpa in used or vpa not in slot_set:
+                continue
+            self.links.restore(da, vpa, redo_inverse=True)
+            linked.add(da)
+            used.add(vpa)
+            redo += 1
+        self.spares.add(pa for pa in shadow_slots if pa not in used)
+        self.spares.total_acquired = len(shadow_slots)
+        self.spares.total_consumed = len(used)
+        # Failed blocks with no durable link were in flight at the crash;
+        # they re-enter the normal failure path (and may re-suspend).
+        for da in sorted(failed - linked):
+            self.handle_new_failure(da, FaultContext.INTERNAL)
+        # Re-flatten every chain; this re-performs interrupted switches.
+        for da in self.links.linked_blocks():
+            self.resolver.reduce(da)
+        self.recoveries += 1
+        self.recovery_redo_writes += redo
 
     # ------------------------------------------------------------- reporting
 
@@ -212,7 +325,10 @@ class WLReviver:
             "spares_available": self.spares.available,
             "linked_blocks": len(self.links),
             "chain_switches": self.resolver.switches,
+            "switch_scenarios": dict(self.switch_scenarios),
             "hidden_failures": self.hidden_failures,
             "os_reports": self.reporter.report_count,
             "victimized_writes": self.reporter.victimized_count,
+            "recoveries": self.recoveries,
+            "recovery_redo_writes": self.recovery_redo_writes,
         }

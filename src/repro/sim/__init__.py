@@ -19,10 +19,12 @@ Two engines drive the same component stack at different fidelities:
 from .metrics import LifetimeSeries, LifetimeSummary, SamplePoint
 from .engine import ExactEngine
 from .fast import FastEngine, FastConfig
+from .stop import EndOfLifeReport, StopCause, StopReason
 from .wearstats import WearReport, endurance_utilization, gini, wear_cov
 
 __all__ = [
     "LifetimeSeries", "LifetimeSummary", "SamplePoint",
     "ExactEngine", "FastEngine", "FastConfig",
+    "EndOfLifeReport", "StopCause", "StopReason",
     "WearReport", "endurance_utilization", "gini", "wear_cov",
 ]

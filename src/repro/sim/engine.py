@@ -9,12 +9,16 @@ limits it to small chips — exactly what Table II and the test suite need.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict, Optional, TYPE_CHECKING
 
-from ..errors import CapacityExhaustedError
-from ..mc.controller import BaseController
+from ..errors import CapacityExhaustedError, SimulatedCrash
+from ..mc.controller import BaseController, ReviverController
 from ..traces.base import WriteTrace
 from .metrics import LifetimeSeries, LifetimeSummary
+from .stop import EndOfLifeReport, StopCause, StopReason
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..faultinject.hooks import ScheduleDriver
 
 
 class ExactEngine:
@@ -41,7 +45,17 @@ class ExactEngine:
         self.expected: Dict[int, int] = {}
         self._next_tag = 1
         self._reads_owed = 0.0
-        self.stopped_reason: Optional[str] = None
+        #: Structured reason the run ended (None while running).
+        self.stop: Optional[StopReason] = None
+        #: Fault-injection driver polled once per write; ``None`` (the
+        #: default) disables injection.  Only :mod:`repro.faultinject`
+        #: may set this.
+        self.inject: Optional["ScheduleDriver"] = None
+
+    @property
+    def stopped_reason(self) -> Optional[str]:
+        """Legacy string form of :attr:`stop` (None while running)."""
+        return self.stop.render() if self.stop is not None else None
 
     # ------------------------------------------------------------------- run
 
@@ -51,20 +65,22 @@ class ExactEngine:
         chip = controller.chip
         budget = max_writes if max_writes is not None else float("inf")
         while controller.writes < budget:
+            if self.inject is not None:
+                self.inject.poll(controller.writes)
             if chip.failed_fraction() >= self.dead_fraction:
-                self.stopped_reason = "dead-fraction"
+                self.stop = StopReason(StopCause.DEAD_FRACTION)
                 break
             try:
                 self._step()
             except CapacityExhaustedError as exc:
-                self.stopped_reason = f"exhausted: {exc}"
+                self.stop = StopReason(StopCause.EXHAUSTED, str(exc))
                 break
             if controller.writes % self.sample_interval == 0:
                 self._sample()
                 if self.verify:
                     self.verify_all()
         else:
-            self.stopped_reason = "max-writes"
+            self.stop = StopReason(StopCause.MAX_WRITES)
         self._sample()
         return LifetimeSummary.from_series(
             self.series, os_reports=controller.reporter.report_count)
@@ -73,7 +89,15 @@ class ExactEngine:
         vblock = self.trace.next_write()
         tag = self._next_tag if self.verify else None
         self._next_tag += 1
-        self.controller.service_write(vblock, tag=tag)
+        try:
+            self.controller.service_write(vblock, tag=tag)
+        except SimulatedCrash as crash:
+            # Power loss mid-write: the write itself is lost along with all
+            # volatile controller state; the controller reboots and the
+            # run continues (the OS would simply reissue its workload).
+            self.controller.lost_vblocks.add(vblock)
+            self.controller.crash_and_recover(crash)
+            return
         if self.verify and tag is not None:
             self.expected[vblock] = tag
         # Interleave reads at the configured ratio (access-time studies).
@@ -89,6 +113,45 @@ class ExactEngine:
             survival=1.0 - chip.failed_fraction(),
             usable=self.controller.software_usable_fraction(),
             avg_access=self.controller.stats.avg_access_time)
+
+    # ------------------------------------------------------------- reporting
+
+    def end_of_life_report(self) -> EndOfLifeReport:
+        """Structured census of how (and how gracefully) the run ended."""
+        controller = self.controller
+        chip = controller.chip
+        stop = self.stop if self.stop is not None else StopReason(
+            StopCause.MAX_WRITES, "still running")
+        os_interruptions = controller.reporter.report_count
+        victimized = 0
+        pages_acquired = 0
+        spares_available = 0
+        linked = 0
+        loops = 0
+        if isinstance(controller, ReviverController):
+            reviver = controller.reviver
+            victimized = reviver.reporter.victimized_count
+            pages_acquired = reviver.ledger.pages_acquired
+            spares_available = reviver.spares.available
+            linked = len(reviver.links)
+            for da in reviver.links.linked_blocks():
+                vpa = reviver.links.vpa_of(da)
+                # A PA-DA loop: the shadow PA maps straight back onto the
+                # failed block it serves (garbage data by construction).
+                if vpa is not None and reviver.map_fn(vpa) == da:
+                    loops += 1
+        return EndOfLifeReport(
+            stop=stop,
+            total_writes=controller.writes,
+            failed_fraction=chip.failed_fraction(),
+            usable_fraction=controller.software_usable_fraction(),
+            os_interruptions=os_interruptions,
+            victimized_writes=victimized,
+            pages_acquired=pages_acquired,
+            spares_available=spares_available,
+            linked_blocks=linked,
+            pa_da_loops=loops,
+            crashes_recovered=controller.crashes_recovered)
 
     # ---------------------------------------------------------- verification
 

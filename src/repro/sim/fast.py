@@ -41,7 +41,7 @@ link chains by iterative pointer-jumping instead of per-key dict walks.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, TYPE_CHECKING
 
 import numpy as np
 
@@ -58,6 +58,10 @@ from ..rng import SeedLike, derive_rng
 from ..traces.base import WriteTrace
 from ..wl.base import WearLeveler
 from .metrics import LifetimeSeries, LifetimeSummary
+from .stop import EndOfLifeReport, StopCause, StopReason
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..faultinject.hooks import ScheduleDriver
 
 #: Recovery modes the engine understands.
 RECOVERY_MODES = ("reviver", "none", "freep")
@@ -143,7 +147,12 @@ class FastEngine:
         self.series = LifetimeSeries(label=label or f"{wl.name}-{self.config.recovery}")
         self._rng = derive_rng(self.config.seed, "fast-engine")
         self.total_writes = 0
-        self.stopped_reason: Optional[str] = None
+        #: Structured reason the run ended (None while running).
+        self.stop: Optional[StopReason] = None
+        #: Fault-injection driver polled once per epoch; ``None`` (the
+        #: default) disables injection.  Only :mod:`repro.faultinject`
+        #: may set this.
+        self.inject: Optional["ScheduleDriver"] = None
         # --- recovery state -------------------------------------------------
         self.region = region
         if self.config.recovery == "freep":
@@ -175,6 +184,11 @@ class FastEngine:
         #: Traffic the OS gave up on after repeated relocation churn.
         self.dropped_writes = 0
 
+    @property
+    def stopped_reason(self) -> Optional[str]:
+        """Legacy string form of :attr:`stop` (None while running)."""
+        return self.stop.render() if self.stop is not None else None
+
     # ------------------------------------------------------------------- run
 
     def run(self) -> LifetimeSummary:
@@ -183,23 +197,25 @@ class FastEngine:
         budget = cfg.max_writes if cfg.max_writes is not None else float("inf")
         self._sample()
         while True:
+            if self.inject is not None:
+                self.inject.poll(self.total_writes)
             if self.chip.failed_fraction() >= cfg.dead_fraction:
-                self.stopped_reason = "dead-fraction"
+                self.stop = StopReason(StopCause.DEAD_FRACTION)
                 break
             if (cfg.stop_on_capacity
                     and self._usable_fraction() <= 1.0 - cfg.dead_fraction):
                 # The chip is just as unavailable when the lost capacity
                 # comes from retired pages as from dead blocks.
-                self.stopped_reason = "capacity-lost"
+                self.stop = StopReason(StopCause.CAPACITY_LOST)
                 break
             if self.total_writes >= budget:
-                self.stopped_reason = "max-writes"
+                self.stop = StopReason(StopCause.MAX_WRITES)
                 break
             try:
                 self._epoch(int(min(cfg.batch_writes,
                                     budget - self.total_writes)))
             except CapacityExhaustedError as exc:
-                self.stopped_reason = f"exhausted: {exc}"
+                self.stop = StopReason(StopCause.EXHAUSTED, str(exc))
                 # The partial epoch changed state since the last sample.
                 self._sample()
                 break
@@ -567,6 +583,29 @@ class FastEngine:
             return max(0.0, 1.0 - reserved)
         retired = self.ospool.retired_blocks / self.chip.num_blocks
         return max(0.0, 1.0 - reserved - retired)
+
+    def end_of_life_report(self) -> EndOfLifeReport:
+        """Structured census of how (and how gracefully) the run ended."""
+        stop = self.stop if self.stop is not None else StopReason(
+            StopCause.MAX_WRITES, "still running")
+        loops = 0
+        if self.config.recovery == "reviver" and self.links:
+            self._rebuild_redirect()
+            for da in self.links:
+                if self._redirect[da] == da:
+                    loops += 1
+        return EndOfLifeReport(
+            stop=stop,
+            total_writes=self.total_writes,
+            failed_fraction=self.chip.failed_fraction(),
+            usable_fraction=self._usable_fraction(),
+            os_interruptions=self.reporter.report_count,
+            victimized_writes=self.reporter.victimized_count,
+            pages_acquired=self.ledger.pages_acquired,
+            spares_available=self.spares.available,
+            linked_blocks=len(self.links),
+            pa_da_loops=loops,
+            crashes_recovered=0)
 
     def stats(self) -> dict:
         """Counters for experiment reports."""

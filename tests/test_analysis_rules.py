@@ -21,9 +21,10 @@ def findings_for(rule_id, text, path=GENERIC):
 
 
 class TestRegistry:
-    def test_all_five_rules_registered(self):
+    def test_all_six_rules_registered(self):
         assert set(rule_ids()) == {
-            "RAW-GEOM", "RNG-DET", "LINK-MUT", "EXC-SWALLOW", "FLOAT-EQ"}
+            "RAW-GEOM", "RNG-DET", "LINK-MUT", "EXC-SWALLOW", "FLOAT-EQ",
+            "FAULT-HOOK"}
 
     def test_get_rule_is_case_insensitive(self):
         assert get_rule("raw-geom").id == "RAW-GEOM"
@@ -165,3 +166,30 @@ class TestFloatEq:
     ])
     def test_sanctioned_comparisons_stay_clean(self, good):
         assert findings_for("FLOAT-EQ", good) == []
+
+
+class TestFaultHook:
+    @pytest.mark.parametrize("bad", [
+        "engine.inject = driver\n",
+        "chip.inject.on_read(da)\n",
+        "controller.inject = None\n",
+        "hooks = self.chip.inject\n",
+    ])
+    def test_foreign_hook_access_is_caught(self, bad):
+        assert [f.rule for f in findings_for("FAULT-HOOK", bad)] \
+            == ["FAULT-HOOK"]
+
+    @pytest.mark.parametrize("good", [
+        "self.inject = None\n",
+        "if self.inject is not None:\n    self.inject.poll(writes)\n",
+        "driver.attach_exact(engine)\n",
+        "schedule = random_schedule(seed, 96, 4000)\n",
+    ])
+    def test_own_hook_and_driver_api_stay_clean(self, good):
+        assert findings_for("FAULT-HOOK", good) == []
+
+    def test_faultinject_package_is_exempt(self):
+        bad = "engine.inject = self\n"
+        assert findings_for(
+            "FAULT-HOOK", bad,
+            Path("src/repro/faultinject/hooks.py")) == []

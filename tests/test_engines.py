@@ -7,7 +7,8 @@ from repro.config import StartGapConfig
 from repro.ecc import ECP, FreePRegion
 from repro.osmodel.allocator import PagePool
 from repro.pcm import AddressGeometry, EnduranceModel, PCMChip
-from repro.sim import ExactEngine, FastConfig, FastEngine
+from repro.sim import (ExactEngine, FastConfig, FastEngine, StopCause,
+                       StopReason)
 from repro.traces import hotspot_distribution
 from repro.wl import NoWL, StartGap
 
@@ -370,6 +371,58 @@ class TestRedirectRebuild:
             expected = self._reference(96, engine.links, shadow_of,
                                        engine.chip.failed)
             np.testing.assert_array_equal(engine._redirect, expected)
+
+
+class TestStopReasonParity:
+    """Both engines must report end of life through the same StopReason."""
+
+    def test_max_writes_stop_is_identical_across_engines(self):
+        controller, _, _, _ = make_reviver_system(
+            mean=5_000, check_invariants=False)
+        trace = hotspot_distribution(controller.ospool.virtual_blocks,
+                                     3.0, seed=4)
+        exact = ExactEngine(controller, trace, sample_interval=200)
+        assert exact.stop is None and exact.stopped_reason is None
+        exact.run(max_writes=400)
+        fast = make_fast("reviver", mean=100_000)
+        fast.config.max_writes = 400
+        assert fast.stop is None and fast.stopped_reason is None
+        fast.run()
+        assert exact.stop == fast.stop == StopReason(StopCause.MAX_WRITES)
+        assert exact.stopped_reason == fast.stopped_reason == "max-writes"
+
+    def test_dead_fraction_stop_is_identical_across_engines(self):
+        controller, _, _, _ = make_reviver_system(
+            mean=150, utilization=1.0, check_invariants=False)
+        trace = hotspot_distribution(controller.ospool.virtual_blocks,
+                                     4.0, seed=6)
+        exact = ExactEngine(controller, trace, dead_fraction=0.05,
+                            sample_interval=500)
+        exact.run(max_writes=200_000)
+        # The exact engine has no capacity stop; disable the fast engine's
+        # so both can only stop on the failed-block fraction.
+        fast = make_fast("reviver", mean=150, dead=0.05,
+                         stop_on_capacity=False)
+        fast.run()
+        assert exact.stop == fast.stop == StopReason(StopCause.DEAD_FRACTION)
+        assert exact.stopped_reason == fast.stopped_reason == "dead-fraction"
+
+    def test_end_of_life_reports_share_schema(self):
+        controller, _, _, _ = make_reviver_system(
+            mean=5_000, check_invariants=False)
+        trace = hotspot_distribution(controller.ospool.virtual_blocks,
+                                     3.0, seed=4)
+        exact = ExactEngine(controller, trace, sample_interval=200)
+        exact.run(max_writes=400)
+        fast = make_fast("reviver", mean=100_000)
+        fast.config.max_writes = 400
+        fast.run()
+        exact_report = exact.end_of_life_report().as_dict()
+        fast_report = fast.end_of_life_report().as_dict()
+        assert set(exact_report) == set(fast_report)
+        assert exact_report["stop"] == fast_report["stop"] == "max-writes"
+        assert exact_report["total_writes"] == 400
+        assert fast_report["total_writes"] == 400
 
 
 class TestEngineAgreement:

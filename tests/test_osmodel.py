@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.errors import AddressError, CapacityExhaustedError
+from repro.errors import AddressError, CapacityExhaustedError, ProtocolError
 from repro.osmodel import FaultReporter, PagePool, PageStatus
 
 
@@ -122,6 +122,40 @@ class TestFaultReporter:
         reporter = FaultReporter(make_pool())
         assert reporter.last_event() is None
         assert reporter.report_count == 0
+
+    def test_report_on_already_retired_page_is_protocol_error(self):
+        pool = make_pool()
+        reporter = FaultReporter(pool)
+        reporter.report(pa=25, at_write=10)
+        # The OS never accesses a retired page again; a second report
+        # against it is a device-side bug, not an OS event.
+        with pytest.raises(ProtocolError):
+            reporter.report(pa=26, at_write=11)
+        assert reporter.report_count == 1
+
+    def test_report_out_of_range_pa_is_address_error(self):
+        pool = make_pool(blocks=256, utilization=0.5)
+        reporter = FaultReporter(pool)
+        for pa in (-1, pool.usable_blocks + pool.retired_blocks + 10_000):
+            with pytest.raises(AddressError):
+                reporter.report(pa=pa, at_write=10)
+        assert reporter.report_count == 0
+
+    def test_failed_report_leaves_pool_and_log_untouched(self):
+        pool = make_pool()
+        reporter = FaultReporter(pool)
+        reporter.report(pa=25, at_write=10, victimized=True)
+        usable_before = pool.usable_blocks
+        with pytest.raises(ProtocolError):
+            reporter.report(pa=25, at_write=11, victimized=True)
+        with pytest.raises(AddressError):
+            reporter.report(pa=100_000, at_write=12, victimized=True)
+        # No phantom retirement, no phantom event: victimization accounting
+        # only counts reports the OS actually acted on.
+        assert pool.usable_blocks == usable_before
+        assert reporter.report_count == 1
+        assert reporter.victimized_count == 1
+        assert reporter.last_event().at_write == 10
 
     def test_record_write_statistics(self):
         pool = make_pool()
