@@ -7,7 +7,8 @@ class it bans either shipped in a past PR or breaks a documented guarantee.
 
 from __future__ import annotations
 
-from . import exc_swallow, fault_hook, float_eq, link_mut, raw_geom, rng_det
+from . import (exc_swallow, fault_hook, float_eq, link_mut, raw_geom,
+               rng_det, telem_api)
 
 __all__ = ["exc_swallow", "fault_hook", "float_eq", "link_mut", "raw_geom",
-           "rng_det"]
+           "rng_det", "telem_api"]

@@ -13,7 +13,13 @@ across worker processes:
 * cell outputs are JSON-serializable records; with ``resume`` pointing at
   a JSON file, completed cells are persisted after every finish and
   skipped on reruns (an interrupted sweep continues where it stopped);
-* :meth:`GridRunner.report` summarizes per-cell wall time.
+* :meth:`GridRunner.report` summarizes per-cell wall/CPU time, queue
+  wait, and worker utilization.
+
+Timing is measured *inside* the cell by one shared helper
+(:func:`repro.telemetry.timing.timed_call`), so the serial and pool paths
+report identical semantics; the pool path additionally derives each
+cell's queue wait as time-to-completion minus in-cell wall time.
 
 ``jobs <= 1`` executes in-process with no pool (and no fork overhead) —
 the default, and the reference the parallel path must reproduce exactly.
@@ -28,12 +34,17 @@ import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
+from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Mapping,
+                    Optional, Sequence, Tuple, Union)
 
 import numpy as np
 
 from ..errors import ConfigurationError
 from ..rng import SeedLike, derive_rng, spawn_seed
+from ..telemetry.timing import timed_call
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry.session import TelemetrySession
 
 #: Signature of the progress callback: (finished cell, done count, total).
 ProgressFn = Callable[["CellOutcome", int, int], None]
@@ -81,9 +92,15 @@ class CellOutcome:
 
     key: str
     value: Any
+    #: In-cell wall-clock seconds (identical semantics serial or pooled).
     seconds: float
     #: True when the value came from the resume file, not a fresh run.
     cached: bool = False
+    #: In-cell process CPU seconds (user + system, in the worker).
+    cpu_seconds: float = 0.0
+    #: Pool only: time the finished result spent waiting on a worker slot
+    #: or on the parent draining other completions (0.0 when serial).
+    queue_seconds: float = 0.0
 
 
 def _execute(fn: str, kwargs: Dict[str, Any]) -> Any:
@@ -93,17 +110,32 @@ def _execute(fn: str, kwargs: Dict[str, Any]) -> Any:
     return jsonify(getattr(module, func_name)(**kwargs))
 
 
+def _execute_timed(fn: str,
+                   kwargs: Dict[str, Any]) -> Tuple[Any, float, float]:
+    """Run a cell under the shared timer; returns (value, wall, cpu).
+
+    Both execution paths go through here, so "seconds" always means the
+    same thing: wall time inside the cell, in whichever process ran it.
+    """
+    value, timing = timed_call(_execute, fn, kwargs)
+    return value, timing.wall, timing.cpu
+
+
 class GridRunner:
     """Runs a grid of cells serially or across a process pool."""
 
     def __init__(self, jobs: int = 1,
                  resume: Union[None, str, Path] = None,
-                 progress: Optional[ProgressFn] = None) -> None:
+                 progress: Optional[ProgressFn] = None,
+                 telem: Optional["TelemetrySession"] = None) -> None:
         if jobs < 1:
             raise ConfigurationError("jobs must be >= 1")
         self.jobs = jobs
         self.resume = Path(resume) if resume is not None else None
         self.progress = progress
+        #: Optional session accumulating grid metrics (cell wall/CPU/queue
+        #: counters) in the parent process.
+        self.telem = telem
         self.outcomes: List[CellOutcome] = []
 
     # ------------------------------------------------------------------ run
@@ -118,10 +150,13 @@ class GridRunner:
         pending: List[Cell] = []
         for cell in cells:
             if cell.key in completed:
-                results[cell.key] = completed[cell.key]["value"]
+                record = completed[cell.key]
+                results[cell.key] = record["value"]
                 self._finish(CellOutcome(
                     key=cell.key, value=results[cell.key],
-                    seconds=float(completed[cell.key].get("seconds", 0.0)),
+                    seconds=float(record.get("seconds", 0.0)),
+                    cpu_seconds=float(record.get("cpu_seconds", 0.0)),
+                    queue_seconds=float(record.get("queue_seconds", 0.0)),
                     cached=True), len(results), len(cells))
             else:
                 pending.append(cell)
@@ -135,37 +170,46 @@ class GridRunner:
     def _run_serial(self, pending: List[Cell], results: Dict[str, Any],
                     completed: Dict[str, dict], total: int) -> None:
         for cell in pending:
-            started = time.perf_counter()
-            value = _execute(cell.fn, cell.kwargs)
-            self._record(cell.key, value, time.perf_counter() - started,
+            value, wall, cpu = _execute_timed(cell.fn, cell.kwargs)
+            self._record(cell.key, value, wall, cpu, 0.0,
                          results, completed, total)
 
     def _run_pool(self, pending: List[Cell], results: Dict[str, Any],
                   completed: Dict[str, dict], total: int) -> None:
         workers = min(self.jobs, len(pending))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            futures = {pool.submit(_execute, cell.fn, cell.kwargs): cell
+            submitted = time.perf_counter()
+            futures = {pool.submit(_execute_timed, cell.fn, cell.kwargs): cell
                        for cell in pending}
-            started = time.perf_counter()
             for future in as_completed(futures):
                 cell = futures[future]
-                # Wall time per cell is not separable inside the pool;
-                # report time-to-completion since submission instead.
-                self._record(cell.key, future.result(),
-                             time.perf_counter() - started,
+                value, wall, cpu = future.result()
+                # The worker measured the in-cell wall time; whatever is
+                # left of the time-to-completion was spent queued (waiting
+                # for a worker slot, pickling, or parent-side draining).
+                queue = max(0.0, time.perf_counter() - submitted - wall)
+                self._record(cell.key, value, wall, cpu, queue,
                              results, completed, total)
 
-    def _record(self, key: str, value: Any, seconds: float,
-                results: Dict[str, Any], completed: Dict[str, dict],
-                total: int) -> None:
+    def _record(self, key: str, value: Any, seconds: float, cpu: float,
+                queue: float, results: Dict[str, Any],
+                completed: Dict[str, dict], total: int) -> None:
         results[key] = value
-        completed[key] = {"value": value, "seconds": seconds}
+        completed[key] = {"value": value, "seconds": seconds,
+                          "cpu_seconds": cpu, "queue_seconds": queue}
         self._save_resume(completed)
-        self._finish(CellOutcome(key=key, value=value, seconds=seconds),
+        self._finish(CellOutcome(key=key, value=value, seconds=seconds,
+                                 cpu_seconds=cpu, queue_seconds=queue),
                      len(results), total)
 
     def _finish(self, outcome: CellOutcome, done: int, total: int) -> None:
         self.outcomes.append(outcome)
+        if self.telem is not None and not outcome.cached:
+            self.telem.count("grid.cells")
+            self.telem.count("grid.wall_seconds", outcome.seconds)
+            self.telem.count("grid.cpu_seconds", outcome.cpu_seconds)
+            self.telem.count("grid.queue_seconds", outcome.queue_seconds)
+            self.telem.observe("grid.cell_wall", outcome.seconds)
         if self.progress is not None:
             self.progress(outcome, done, total)
 
@@ -204,12 +248,24 @@ class GridRunner:
         lines = [f"{len(self.outcomes)} cells "
                  f"({cached} resumed, jobs={self.jobs})"]
         for outcome in sorted(self.outcomes, key=lambda o: o.key):
-            marker = "cached" if outcome.cached else f"{outcome.seconds:.2f}s"
+            marker = ("cached" if outcome.cached
+                      else f"{outcome.seconds:.2f}s "
+                           f"(cpu {outcome.cpu_seconds:.2f}s)")
             lines.append(f"  {outcome.key:<44s} {marker}")
         if fresh:
             slowest = max(fresh, key=lambda o: o.seconds)
             lines.append(f"  slowest: {slowest.key} "
                          f"({slowest.seconds:.2f}s)")
+            wall = sum(o.seconds for o in fresh)
+            cpu = sum(o.cpu_seconds for o in fresh)
+            queue = sum(o.queue_seconds for o in fresh)
+            lines.append(f"  total: wall {wall:.2f}s, cpu {cpu:.2f}s, "
+                         f"queue {queue:.2f}s")
+            # CPU seconds actually burned per second the cells were open:
+            # near 1.0 means compute-bound workers, well below 1.0 means
+            # the cells idled (I/O, GIL handoffs, oversubscription).
+            if wall > 0:
+                lines.append(f"  worker utilization: {cpu / wall:.0%}")
         return "\n".join(lines)
 
 

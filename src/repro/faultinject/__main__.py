@@ -46,6 +46,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="JSON file persisting finished cells")
     parser.add_argument("--json", dest="json_out", type=str, default=None,
                         help="write the aggregate summary to this file")
+    parser.add_argument("--trace-out", type=str, default=None,
+                        help="write an instrumented golden trace (JSONL) of "
+                             "the first seed to this file; summarize with "
+                             "`python -m repro.telemetry summarize`")
     parser.add_argument("--quiet", action="store_true",
                         help="suppress per-cell progress lines")
     args = parser.parse_args(argv)
@@ -75,6 +79,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.json_out:
         with open(args.json_out, "w") as handle:
             json.dump(summary, handle, indent=2, sort_keys=True)
+    if args.trace_out:
+        from ..telemetry.golden import golden_trace
+        text = golden_trace(seed=args.first_seed,
+                            num_blocks=args.num_blocks, mean=args.mean,
+                            max_writes=args.max_writes)
+        with open(args.trace_out, "w") as handle:
+            handle.write(text)
+        if not args.quiet:
+            print(f"  instrumented trace of seed {args.first_seed} "
+                  f"written to {args.trace_out}")
     return 1 if summary["failed"] else 0
 
 

@@ -41,6 +41,7 @@ from .cache import RemapCache
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from ..faultinject.hooks import ControllerHooks
+    from ..telemetry.session import TelemetrySession
 
 #: Bounded retries for transient (correctable-on-retry) read errors.
 READ_RETRY_LIMIT = 8
@@ -77,6 +78,9 @@ class BaseController(abc.ABC):
         self.crashes_recovered = 0
         #: Transient read errors absorbed by bounded retry.
         self.transient_read_errors = 0
+        #: Telemetry hook; ``None`` (the default) disables every event.
+        #: Only :mod:`repro.telemetry` may attach a session.
+        self.telem: Optional["TelemetrySession"] = None
 
     # ------------------------------------------------------- subclass hooks
 
@@ -132,6 +136,8 @@ class BaseController(abc.ABC):
             except UncorrectableError:
                 self.transient_read_errors += 1
                 self.stats.pcm_accesses += 1
+                if self.telem is not None:
+                    self.telem.emit("read-retry", da=da, at_write=self.writes)
         raise ProtocolError(
             f"block {da} failed {READ_RETRY_LIMIT} consecutive read retries")
 
@@ -143,8 +149,14 @@ class BaseController(abc.ABC):
         The base controller has nothing durable to rebuild *from* — the
         store buffer and remap cache are simply gone.  Parked migration
         data that never reached the PCM is recorded lost, exactly like a
-        real machine losing its write queue.
+        real machine losing its write queue.  Subclasses with durable
+        state rebuild it in :meth:`_rebuild_after_crash`, which runs
+        between the two telemetry events so an instrumented run brackets
+        the whole reboot with one ``crash``/``recover`` pair.
         """
+        if self.telem is not None:
+            self.telem.emit("crash", site=None if crash is None else crash.site,
+                            at_write=self.writes)
         if crash is not None and crash.pa is not None:
             self._record_lost_pa(crash.pa)
         for pa in list(self._parked):
@@ -152,7 +164,14 @@ class BaseController(abc.ABC):
         self._parked.clear()
         if self.cache is not None:
             self.cache.clear()
+        self._rebuild_after_crash()
         self.crashes_recovered += 1
+        if self.telem is not None:
+            self.telem.emit("recover", at_write=self.writes,
+                            crashes=self.crashes_recovered)
+
+    def _rebuild_after_crash(self) -> None:
+        """Hook: rebuild durable state after the volatile drop (no-op)."""
 
     # --------------------------------------------------------- software path
 
@@ -512,8 +531,8 @@ class ReviverController(BaseController):
 
     # -------------------------------------------------------- crash recovery
 
-    def crash_and_recover(self, crash: Optional[SimulatedCrash] = None) -> None:
-        """Power loss + Section III-B reboot: rebuild links by scanning.
+    def _rebuild_after_crash(self) -> None:
+        """Section III-B reboot: rebuild links by scanning the PCM.
 
         The link table and spare registers are volatile and gone; the
         durable truth is the retired-page bitmap plus the pointer and
@@ -522,7 +541,6 @@ class ReviverController(BaseController):
         Theorem 1-3 invariants are re-checked unconditionally before the
         controller resumes service.
         """
-        super().crash_and_recover(crash)
         # Recovery itself must not trip armed crash points or read errors:
         # the machine is rebooting, the injection campaign resumes after.
         hooks, self.inject = self.inject, None

@@ -12,10 +12,13 @@ versus once per failure for naive designs).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import TYPE_CHECKING, List, Optional
 
 from ..errors import AddressError, ProtocolError
 from .allocator import PagePool
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry.session import TelemetrySession
 
 
 @dataclass(frozen=True)
@@ -39,6 +42,8 @@ class FaultReporter:
     def __init__(self, pool: PagePool) -> None:
         self.pool = pool
         self.events: List[FaultEvent] = []
+        #: Telemetry hook; attach via repro.telemetry only.
+        self.telem: Optional["TelemetrySession"] = None
 
     def report(self, pa: int, at_write: int,
                victimized: bool = False) -> List[int]:
@@ -65,6 +70,9 @@ class FaultReporter:
         pas = self.pool.retire(page_id)
         self.events.append(FaultEvent(at_write=at_write, pa=pa,
                                       page_id=page_id, victimized=victimized))
+        if self.telem is not None:
+            self.telem.emit("page-retire", page=page_id, pa=pa,
+                            at_write=at_write, victimized=victimized)
         return pas
 
     # -------------------------------------------------------------- reporting

@@ -17,12 +17,15 @@ cost exactly where the paper says the bits live.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 import numpy as np
 
 from ..errors import ProtocolError
 from .pages import PageLedger
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry.session import TelemetrySession
 
 
 @dataclass(frozen=True)
@@ -45,12 +48,15 @@ class MetadataWrite:
 class LinkTable:
     """Bidirectional failed-DA <-> virtual-shadow-PA links."""
 
-    def __init__(self, ledger: PageLedger) -> None:
+    def __init__(self, ledger: PageLedger,
+                 telem: Optional["TelemetrySession"] = None) -> None:
         self.ledger = ledger
         self._pointer: Dict[int, int] = {}   # failed DA -> VPA
         self._inverse: Dict[int, int] = {}   # VPA -> failed DA
         #: Metadata writes not yet drained by the controller.
         self.pending_writes: List[MetadataWrite] = []
+        #: Telemetry hook; attach via repro.telemetry only.
+        self.telem = telem
 
     # ----------------------------------------------------------------- reads
 
@@ -103,6 +109,10 @@ class LinkTable:
         self.pending_writes.append(
             MetadataWrite("inverse", self.ledger.pointer_home(vpa),
                           vpa=vpa, da=da))
+        if self.telem is not None:
+            self.telem.emit("link-install", da=da, vpa=vpa)
+            self.telem.emit("inverse-rewrite", da=da, vpa=vpa,
+                            home=self.ledger.pointer_home(vpa))
 
     def switch(self, da_a: int, da_b: int) -> None:
         """Exchange the virtual shadows of two failed blocks.
@@ -126,6 +136,13 @@ class LinkTable:
         self.pending_writes.append(
             MetadataWrite("inverse", self.ledger.pointer_home(vpa_b),
                           vpa=vpa_b, da=da_a))
+        if self.telem is not None:
+            self.telem.emit("pointer-switch", da_a=da_a, da_b=da_b,
+                            vpa_a=vpa_a, vpa_b=vpa_b)
+            self.telem.emit("inverse-rewrite", da=da_b, vpa=vpa_a,
+                            home=self.ledger.pointer_home(vpa_a))
+            self.telem.emit("inverse-rewrite", da=da_a, vpa=vpa_b,
+                            home=self.ledger.pointer_home(vpa_b))
 
     def restore(self, da: int, vpa: int, redo_pointer: bool = False,
                 redo_inverse: bool = False) -> None:
@@ -149,6 +166,13 @@ class LinkTable:
             self.pending_writes.append(
                 MetadataWrite("inverse", self.ledger.pointer_home(vpa),
                               vpa=vpa, da=da))
+        if self.telem is not None:
+            self.telem.emit("link-restore", da=da, vpa=vpa,
+                            redo_pointer=redo_pointer,
+                            redo_inverse=redo_inverse)
+            if redo_inverse:
+                self.telem.emit("inverse-rewrite", da=da, vpa=vpa,
+                                home=self.ledger.pointer_home(vpa))
 
     def drain_writes(self) -> List[MetadataWrite]:
         """Return and clear the pending metadata writes."""

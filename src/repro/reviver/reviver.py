@@ -29,7 +29,8 @@ performs the physical metadata writes itself.
 from __future__ import annotations
 
 import enum
-from typing import Callable, Dict, Iterable, List, Optional, Sequence, Set
+from typing import (TYPE_CHECKING, Callable, Dict, Iterable, List, Optional,
+                    Sequence, Set)
 
 import numpy as np
 
@@ -43,6 +44,9 @@ from .links import LinkTable
 from .pages import AcquiredPage, PageLedger
 from .persist import DurableMetadata
 from .registers import SparePool
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..telemetry.session import TelemetrySession
 
 
 class FaultContext(enum.Enum):
@@ -100,6 +104,8 @@ class WLReviver:
         #: before its PAs become spares: the OS must copy the page's data
         #: to its new frame while the old blocks are still untouched.
         self.page_copier: Optional[Callable[[], None]] = None
+        #: Telemetry hook; attach via repro.telemetry only.
+        self.telem: Optional["TelemetrySession"] = None
 
     # ---------------------------------------------------------------- queries
 
@@ -123,6 +129,7 @@ class WLReviver:
         no link or chain switch can repurpose a block that still holds the
         page's software data.
         """
+        was_pending = self.acquisition_pending
         pas = self.reporter.report(victim_pa, at_write, victimized=victimized)
         event = self.reporter.last_event()
         assert event is not None
@@ -138,6 +145,9 @@ class WLReviver:
             # Any acquisition satisfies an outstanding suspension, whether
             # it came from a victimized write or a genuine failure report.
             self.acquisition_pending = False
+            if was_pending and self.telem is not None:
+                self.telem.emit("migration-resume", page=event.page_id,
+                                at_write=at_write)
         return page
 
     # ----------------------------------------------------------- fault events
@@ -163,6 +173,9 @@ class WLReviver:
                     raise ProtocolError("software fault requires the victim PA")
                 self.acquire_page(victim_pa, at_write, victimized=False)
             else:
+                if not self.acquisition_pending and self.telem is not None:
+                    self.telem.emit("migration-suspend", da=da,
+                                    context=context.value, at_write=at_write)
                 self.acquisition_pending = True
                 self._unlinked_failures.append(da)
                 return False
@@ -243,7 +256,7 @@ class WLReviver:
         self.spares = SparePool()
         self.ledger = PageLedger(self.config, self.ledger.blocks_per_page,
                                  self.ledger.block_bytes)
-        self.links = LinkTable(self.ledger)
+        self.links = LinkTable(self.ledger, telem=self.telem)
         self.resolver = ChainResolver(self.links, self.map_fn, self.is_failed)
         self.resolver.switches = switches
         self.acquisition_pending = False

@@ -19,6 +19,7 @@ from .stop import EndOfLifeReport, StopCause, StopReason
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from ..faultinject.hooks import ScheduleDriver
+    from ..telemetry.session import TelemetrySession
 
 
 class ExactEngine:
@@ -51,6 +52,9 @@ class ExactEngine:
         #: default) disables injection.  Only :mod:`repro.faultinject`
         #: may set this.
         self.inject: Optional["ScheduleDriver"] = None
+        #: Telemetry hook; ``None`` (the default) disables phase timing.
+        #: Only :mod:`repro.telemetry` may attach a session.
+        self.telem: Optional["TelemetrySession"] = None
 
     @property
     def stopped_reason(self) -> Optional[str]:
@@ -90,13 +94,21 @@ class ExactEngine:
         tag = self._next_tag if self.verify else None
         self._next_tag += 1
         try:
-            self.controller.service_write(vblock, tag=tag)
+            if self.telem is None:
+                self.controller.service_write(vblock, tag=tag)
+            else:
+                with self.telem.phase("service-write"):
+                    self.controller.service_write(vblock, tag=tag)
         except SimulatedCrash as crash:
             # Power loss mid-write: the write itself is lost along with all
             # volatile controller state; the controller reboots and the
             # run continues (the OS would simply reissue its workload).
             self.controller.lost_vblocks.add(vblock)
-            self.controller.crash_and_recover(crash)
+            if self.telem is None:
+                self.controller.crash_and_recover(crash)
+            else:
+                with self.telem.phase("crash-recover"):
+                    self.controller.crash_and_recover(crash)
             return
         if self.verify and tag is not None:
             self.expected[vblock] = tag
@@ -104,7 +116,11 @@ class ExactEngine:
         self._reads_owed += self.read_fraction
         while self._reads_owed >= 1.0:
             self._reads_owed -= 1.0
-            self.controller.service_read(self.trace.next_write())
+            if self.telem is None:
+                self.controller.service_read(self.trace.next_write())
+            else:
+                with self.telem.phase("service-read"):
+                    self.controller.service_read(self.trace.next_write())
 
     def _sample(self) -> None:
         chip = self.controller.chip
@@ -157,6 +173,13 @@ class ExactEngine:
 
     def verify_all(self) -> None:
         """Assert every live virtual block reads back its last written tag."""
+        if self.telem is not None:
+            with self.telem.phase("verify"):
+                self._verify_all()
+            return
+        self._verify_all()
+
+    def _verify_all(self) -> None:
         lost = self.controller.lost_vblocks
         for vblock, tag in self.expected.items():
             if vblock in lost:

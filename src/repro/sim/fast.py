@@ -62,6 +62,7 @@ from .stop import EndOfLifeReport, StopCause, StopReason
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from ..faultinject.hooks import ScheduleDriver
+    from ..telemetry.session import TelemetrySession
 
 #: Recovery modes the engine understands.
 RECOVERY_MODES = ("reviver", "none", "freep")
@@ -153,6 +154,9 @@ class FastEngine:
         #: default) disables injection.  Only :mod:`repro.faultinject`
         #: may set this.
         self.inject: Optional["ScheduleDriver"] = None
+        #: Telemetry hook; ``None`` (the default) keeps the epoch hot path
+        #: untouched.  Only :mod:`repro.telemetry` may attach a session.
+        self.telem: Optional["TelemetrySession"] = None
         # --- recovery state -------------------------------------------------
         self.region = region
         if self.config.recovery == "freep":
@@ -226,13 +230,31 @@ class FastEngine:
     # ----------------------------------------------------------------- epoch
 
     def _epoch(self, batch: int) -> None:
+        if self.telem is None:
+            # The disabled-telemetry hot path: identical to the historical
+            # epoch loop, zero per-epoch overhead beyond this one test.
+            counts = self.trace.batch_counts(batch)
+            self._epoch_counts = counts
+            self._rebuild_redirect()
+            self._apply_software(counts)
+            self.total_writes += batch
+            self._rebuild_redirect()
+            self._advance_wear_leveling()
+            return
+        telem = self.telem
         counts = self.trace.batch_counts(batch)
         self._epoch_counts = counts
-        self._rebuild_redirect()
-        self._apply_software(counts)
+        with telem.phase("redirect-rebuild"):
+            self._rebuild_redirect()
+        with telem.phase("software-apply"):
+            self._apply_software(counts)
         self.total_writes += batch
-        self._rebuild_redirect()
-        self._advance_wear_leveling()
+        with telem.phase("redirect-rebuild"):
+            self._rebuild_redirect()
+        with telem.phase("wear-leveling"):
+            self._advance_wear_leveling()
+        telem.count("fast.epochs")
+        telem.count("fast.writes", batch)
 
     def _apply_software(self, counts: np.ndarray) -> None:
         """Apply the epoch's software writes with overshoot re-issue.
@@ -445,9 +467,12 @@ class FastEngine:
         if mapped_by is not None and mapped_by in self.spares:
             # The PA owning the block's data is an unlinked spare: retire
             # the pair as a PA-DA loop without consuming a healthy shadow.
-            self.links[da] = self.spares.take_specific(mapped_by)
+            vpa = self.spares.take_specific(mapped_by)
         else:
-            self.links[da] = self.spares.take()
+            vpa = self.spares.take()
+        self.links[da] = vpa
+        if self.telem is not None:
+            self.telem.emit("link-install", da=da, vpa=vpa)
 
     def _acquire_page(self, failed_da: int) -> None:
         """Retire a page and claim its PAs as reviver property."""

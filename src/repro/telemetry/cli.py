@@ -1,0 +1,114 @@
+"""``python -m repro.telemetry`` — summarize and diff trace files.
+
+Two subcommands:
+
+``summarize TRACE``
+    Print the run metadata, the event census, and (when the trace carries
+    a trailing ``profile`` record) the per-phase time profile as a text
+    table.  ``--json`` emits the same data as one JSON object for
+    scripting and CI artifacts.
+
+``diff A B``
+    Compare two traces on canonical record text and report the first
+    divergence; exits 1 when they differ, 0 when byte-equivalent.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from ..errors import ReproError
+from .trace import Json, census, diff_traces, profile_of, read_trace, run_meta
+
+
+def _format_profile(phases: Dict[str, Json]) -> List[str]:
+    """Render the per-phase profile as aligned text lines."""
+    lines = ["phase                     seconds      calls   s/call"]
+    total = 0.0
+    for name in sorted(phases):
+        stats = phases[name]
+        if not isinstance(stats, dict):
+            continue
+        seconds = stats.get("seconds")
+        calls = stats.get("calls")
+        if not isinstance(seconds, (int, float)) or isinstance(seconds, bool):
+            seconds = 0.0
+        if not isinstance(calls, (int, float)) or isinstance(calls, bool):
+            calls = 0
+        per_call = seconds / calls if calls else 0.0
+        total += float(seconds)
+        lines.append(f"{name:<22} {seconds:>10.4f} {int(calls):>10d} "
+                     f"{per_call:>8.6f}")
+    lines.append(f"{'total':<22} {total:>10.4f}")
+    return lines
+
+
+def _summarize(path: str, as_json: bool) -> int:
+    records = read_trace(path)
+    meta = run_meta(records)
+    counts = census(records)
+    phases = profile_of(records)
+    if as_json:
+        print(json.dumps({"census": counts, "meta": meta, "path": path,
+                          "profile": phases, "records": len(records)},
+                         sort_keys=True, indent=2))
+        return 0
+    print(f"trace: {path} ({len(records)} records)")
+    if meta:
+        print("meta:")
+        for key in sorted(meta):
+            print(f"  {key}: {meta[key]}")
+    print("census:")
+    for kind, count in counts.items():
+        print(f"  {kind:<20} {count}")
+    if phases:
+        print("profile:")
+        for line in _format_profile(phases):
+            print(f"  {line}")
+    return 0
+
+
+def _diff(path_a: str, path_b: str) -> int:
+    divergence = diff_traces(read_trace(path_a), read_trace(path_b))
+    if divergence is None:
+        print(f"traces identical: {path_a} == {path_b}")
+        return 0
+    print(f"traces differ: {path_a} vs {path_b}")
+    print(divergence)
+    return 1
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.telemetry",
+        description="Summarize or diff simulator trace files.")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    summarize = sub.add_parser(
+        "summarize", help="print run metadata, event census, time profile")
+    summarize.add_argument("trace", help="path to a JSONL trace file")
+    summarize.add_argument("--json", action="store_true",
+                           help="emit the summary as one JSON object")
+
+    diff = sub.add_parser(
+        "diff", help="compare two traces; exit 1 on first divergence")
+    diff.add_argument("trace_a", help="path to the reference trace")
+    diff.add_argument("trace_b", help="path to the candidate trace")
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.command == "summarize":
+            return _summarize(args.trace, args.json)
+        return _diff(args.trace_a, args.trace_b)
+    except (ReproError, OSError) as exc:  # repro: allow(EXC-SWALLOW): CLI boundary — a bad trace file becomes exit code 2, not a traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+__all__ = ["main", "build_parser"]

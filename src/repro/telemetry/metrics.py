@@ -1,0 +1,280 @@
+"""Counter, Gauge, and Histogram primitives in a process-local registry.
+
+The simulator's telemetry needs are modest but strict:
+
+* **zero dependencies** — the primitives are plain Python over ints and
+  floats, importable everywhere without pulling in the simulation stack;
+* **zero cost when disabled** — a :class:`Registry` constructed with
+  ``enabled=False`` hands out shared *null* metrics whose mutators are
+  empty methods, so instrumentation sites can keep a metric reference
+  without ever branching on a flag (and the hot paths guard on the
+  ``telem is None`` hook instead, paying nothing at all);
+* **mergeable** — experiment cells run in worker processes, so every
+  metric must aggregate across processes.  Snapshots merge with
+  :func:`merge_snapshots`, which is associative and commutative
+  (counters and histogram buckets add; gauges take the maximum), so the
+  aggregate is independent of worker scheduling — the same guarantee the
+  parallel harness makes for results.
+
+Naming convention: dotted lowercase paths (``events.page-retire``,
+``phase.software-apply.seconds``).  The registry rejects re-registering a
+name as a different metric type — a typo'd kind would otherwise corrupt
+both series silently.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
+
+from ..errors import ConfigurationError
+
+Number = Union[int, float]
+
+#: Default histogram bucket upper bounds (seconds-ish scale; callers pass
+#: their own bounds for anything with different units).
+DEFAULT_BUCKETS: Tuple[float, ...] = (
+    0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0)
+
+
+class Counter:
+    """A monotonically non-decreasing sum."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        """Add *amount* (>= 0) to the counter."""
+        if amount < 0:
+            raise ConfigurationError(
+                f"counter {self.name!r} cannot decrease (inc({amount}))")
+        self.value += amount
+
+    def snapshot(self) -> Number:
+        return self.value
+
+
+class Gauge:
+    """A point-in-time value (last write wins; merges by maximum)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+    def snapshot(self) -> Number:
+        return self.value
+
+
+class Histogram:
+    """Fixed-bound bucketed distribution of observed values.
+
+    ``bounds`` are strictly increasing upper bounds; an implicit overflow
+    bucket catches everything above the last bound, so ``counts`` has
+    ``len(bounds) + 1`` entries and :meth:`cumulative` is monotone with
+    total count as its last element.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "sum")
+
+    def __init__(self, name: str,
+                 bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:
+        bounds_t = tuple(float(b) for b in bounds)
+        if not bounds_t:
+            raise ConfigurationError(
+                f"histogram {name!r} needs at least one bucket bound")
+        if any(b >= a for b, a in zip(bounds_t, bounds_t[1:])):
+            raise ConfigurationError(
+                f"histogram {name!r} bounds must be strictly increasing")
+        self.name = name
+        self.bounds = bounds_t
+        self.counts: List[int] = [0] * (len(bounds_t) + 1)
+        self.total = 0
+        self.sum: Number = 0
+
+    def observe(self, value: Number) -> None:
+        """Record one observation."""
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    def cumulative(self) -> List[int]:
+        """Running totals per bucket; non-decreasing, ends at :attr:`total`."""
+        out: List[int] = []
+        acc = 0
+        for count in self.counts:
+            acc += count
+            out.append(acc)
+        return out
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"bounds": list(self.bounds), "counts": list(self.counts),
+                "total": self.total, "sum": self.sum}
+
+
+class _NullCounter(Counter):
+    """Shared no-op counter handed out by disabled registries."""
+
+    def inc(self, amount: Number = 1) -> None:  # noqa: D102 - no-op
+        pass
+
+
+class _NullGauge(Gauge):
+    """Shared no-op gauge handed out by disabled registries."""
+
+    def set(self, value: Number) -> None:  # noqa: D102 - no-op
+        pass
+
+
+class _NullHistogram(Histogram):
+    """Shared no-op histogram handed out by disabled registries."""
+
+    def observe(self, value: Number) -> None:  # noqa: D102 - no-op
+        pass
+
+
+NULL_COUNTER = _NullCounter("<disabled>")
+NULL_GAUGE = _NullGauge("<disabled>")
+NULL_HISTOGRAM = _NullHistogram("<disabled>")
+
+
+class Registry:
+    """Process-local, name-addressed home of every metric.
+
+    One ``enabled`` flag governs the whole registry: when False, every
+    accessor returns the shared null metric of the right type, so code
+    written against the registry compiles down to attribute lookups plus
+    empty method calls — no branches at the instrumentation sites.
+    """
+
+    def __init__(self, enabled: bool = True) -> None:
+        self.enabled = enabled
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    # ------------------------------------------------------------- accessors
+
+    def counter(self, name: str) -> Counter:
+        """The counter registered under *name* (created on first use)."""
+        if not self.enabled:
+            return NULL_COUNTER
+        found = self._counters.get(name)
+        if found is None:
+            self._check_free(name, self._counters)
+            found = self._counters[name] = Counter(name)
+        return found
+
+    def gauge(self, name: str) -> Gauge:
+        """The gauge registered under *name* (created on first use)."""
+        if not self.enabled:
+            return NULL_GAUGE
+        found = self._gauges.get(name)
+        if found is None:
+            self._check_free(name, self._gauges)
+            found = self._gauges[name] = Gauge(name)
+        return found
+
+    def histogram(self, name: str,
+                  bounds: Sequence[float] = DEFAULT_BUCKETS) -> Histogram:
+        """The histogram under *name* (created on first use with *bounds*)."""
+        if not self.enabled:
+            return NULL_HISTOGRAM
+        found = self._histograms.get(name)
+        if found is None:
+            self._check_free(name, self._histograms)
+            found = self._histograms[name] = Histogram(name, bounds)
+        return found
+
+    def _check_free(self, name: str, owner: Mapping[str, object]) -> None:
+        for family in (self._counters, self._gauges, self._histograms):
+            if family is not owner and name in family:
+                raise ConfigurationError(
+                    f"metric name {name!r} is already registered as a "
+                    f"different type")
+
+    # ------------------------------------------------------------- snapshots
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-ready dump of every registered metric."""
+        return {
+            "counters": {n: c.snapshot() for n, c in
+                         sorted(self._counters.items())},
+            "gauges": {n: g.snapshot() for n, g in
+                       sorted(self._gauges.items())},
+            "histograms": {n: h.snapshot() for n, h in
+                           sorted(self._histograms.items())},
+        }
+
+    def merge(self, snapshot: Mapping[str, Mapping[str, object]]) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a worker) into this registry."""
+        if not self.enabled:
+            return
+        for name, value in snapshot.get("counters", {}).items():
+            self.counter(name).inc(_as_number(value))
+        for name, value in snapshot.get("gauges", {}).items():
+            number = _as_number(value)
+            existing = self._gauges.get(name)
+            if existing is None:
+                self.gauge(name).set(number)
+            else:
+                existing.set(max(existing.value, number))
+        for name, data in snapshot.get("histograms", {}).items():
+            if not isinstance(data, Mapping):
+                raise ConfigurationError(
+                    f"histogram snapshot {name!r} is not a mapping")
+            bounds = [float(b) for b in _as_list(data, "bounds")]
+            histogram = self.histogram(name, bounds)
+            if list(histogram.bounds) != bounds:
+                raise ConfigurationError(
+                    f"histogram {name!r} bounds differ between snapshots")
+            counts = [int(c) for c in _as_list(data, "counts")]
+            if len(counts) != len(histogram.counts):
+                raise ConfigurationError(
+                    f"histogram {name!r} bucket count differs between "
+                    f"snapshots")
+            for i, count in enumerate(counts):
+                histogram.counts[i] += count
+            histogram.total += int(_as_number(data["total"]))
+            histogram.sum += _as_number(data["sum"])
+
+
+def merge_snapshots(a: Mapping[str, Mapping[str, object]],
+                    b: Mapping[str, Mapping[str, object]],
+                    ) -> Dict[str, Dict[str, object]]:
+    """Pure merge of two snapshots; associative and commutative.
+
+    Counters and histogram buckets add, gauges take the maximum — every
+    combining operation is order-independent, so aggregating worker
+    snapshots yields the same result regardless of completion order.
+    """
+    merged = Registry(enabled=True)
+    merged.merge(a)
+    merged.merge(b)
+    return merged.snapshot()
+
+
+def _as_number(value: object) -> Number:
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise ConfigurationError(f"expected a number in snapshot, got "
+                                 f"{value!r}")
+    return value
+
+
+def _as_list(data: Mapping[str, object], key: str) -> Sequence[object]:
+    value = data.get(key)
+    if not isinstance(value, Sequence) or isinstance(value, (str, bytes)):
+        raise ConfigurationError(f"expected a list under {key!r} in "
+                                 f"histogram snapshot")
+    return value
+
+
+__all__ = ["Counter", "Gauge", "Histogram", "Registry", "merge_snapshots",
+           "DEFAULT_BUCKETS", "NULL_COUNTER", "NULL_GAUGE", "NULL_HISTOGRAM"]

@@ -1,0 +1,38 @@
+"""Wall/CPU timing helpers shared by the experiment harness.
+
+The parallel grid runner needs one timing discipline for both of its
+submit paths (in-process serial and process-pool): measure *inside* the
+cell, where wall time and CPU time are well-defined regardless of which
+process runs the work, and let the caller derive queue wait as the gap
+between time-to-completion and in-cell wall time.  :func:`timed_call` is
+that single helper.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Any, Callable, Tuple
+
+
+@dataclass(frozen=True)
+class CellTiming:
+    """In-cell timing of one unit of work."""
+
+    #: Wall-clock seconds spent inside the call.
+    wall: float
+    #: Process CPU seconds spent inside the call (user + system).
+    cpu: float
+
+
+def timed_call(fn: Callable[..., Any], *args: Any,
+               **kwargs: Any) -> Tuple[Any, CellTiming]:
+    """Run ``fn(*args, **kwargs)``; return its value and the timing."""
+    started_wall = time.perf_counter()
+    started_cpu = time.process_time()
+    value = fn(*args, **kwargs)
+    return value, CellTiming(wall=time.perf_counter() - started_wall,
+                             cpu=time.process_time() - started_cpu)
+
+
+__all__ = ["CellTiming", "timed_call"]

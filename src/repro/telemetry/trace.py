@@ -1,0 +1,201 @@
+"""Structured JSONL tracing with canonical encoding and sequence numbers.
+
+A trace is a line-per-event JSON file whose *bytes* are a deterministic
+function of the simulated run: canonical encoding (sorted keys, no
+whitespace), monotonic sequence numbers assigned at emission, and **no
+wall-clock timestamps** — a seeded run must reproduce its trace
+byte-identically on any machine, at any parallelism, which is exactly what
+the golden-trace regression test pins.  Anything nondeterministic (phase
+timings, CPU seconds) lives in the metrics registry and may be appended
+only as an explicit trailing ``profile`` record by callers that do not
+need byte-stable output.
+
+Record shape::
+
+    {"kind":"link-install","da":17,"seq":4,"vpa":61}
+
+``seq`` starts at 0 and increments by one per record, including the
+optional leading ``run-meta`` record that carries run metadata (seed,
+engine, geometry).  The event vocabulary is closed — an unknown kind is a
+:class:`~repro.errors.ConfigurationError` at emission *and* at read time,
+so a typo cannot silently fork the vocabulary.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from pathlib import Path
+from typing import Dict, Iterable, List, Mapping, Optional, TextIO, Union
+
+from ..errors import ConfigurationError
+
+#: Protocol events the instrumented simulator emits (DESIGN.md §9).
+EVENT_KINDS = frozenset({
+    "link-install",      # a failed block got its virtual shadow (LinkTable.link)
+    "link-restore",      # recovery reinstalled a link from the in-PCM scan
+    "pointer-switch",    # chain reduction exchanged two blocks' shadows
+    "inverse-rewrite",   # an inverse-pointer cell was rewritten/completed
+    "page-retire",       # the OS retired a page after an access report
+    "migration-suspend", # no spare for a migration failure; acquisition owed
+    "migration-resume",  # a page acquisition satisfied the suspension
+    "crash",             # simulated power loss hit the controller
+    "recover",           # reboot recovery completed
+    "read-retry",        # a transient read error was absorbed by retry
+})
+
+#: Leading record carrying run metadata.
+META_KIND = "run-meta"
+#: Optional trailing record carrying the (nondeterministic) time profile.
+PROFILE_KIND = "profile"
+
+ALL_KINDS = EVENT_KINDS | {META_KIND, PROFILE_KIND}
+
+#: JSON value type a trace field may hold (scalars and nested containers).
+Json = Union[None, bool, int, float, str, List["Json"], Dict[str, "Json"]]
+
+
+def dumps(record: Mapping[str, Json]) -> str:
+    """Canonical one-line encoding: sorted keys, minimal separators."""
+    return json.dumps(record, sort_keys=True, separators=(",", ":"))
+
+
+def loads(line: str) -> Dict[str, Json]:
+    """Parse one trace line back into a record."""
+    record = json.loads(line)
+    if not isinstance(record, dict):
+        raise ConfigurationError(f"trace line is not an object: {line!r}")
+    return record
+
+
+class TraceWriter:
+    """Appends canonical records to a sink, numbering them as it goes."""
+
+    def __init__(self, sink: Optional[TextIO] = None,
+                 meta: Optional[Mapping[str, Json]] = None) -> None:
+        self._sink: TextIO = sink if sink is not None else io.StringIO()
+        self.seq = 0
+        #: Events written so far, per kind (a running census).
+        self.counts: Dict[str, int] = {}
+        if meta is not None:
+            self._write(META_KIND, dict(meta))
+
+    # ---------------------------------------------------------------- writing
+
+    def emit(self, kind: str, **fields: Json) -> None:
+        """Append one protocol event of a known *kind*."""
+        if kind not in EVENT_KINDS:
+            raise ConfigurationError(
+                f"unknown trace event kind {kind!r}; the vocabulary is "
+                f"closed (see repro.telemetry.trace.EVENT_KINDS)")
+        self._write(kind, fields)
+
+    def append_profile(self, profile: Mapping[str, Json]) -> None:
+        """Append the trailing time-profile record.
+
+        This is the one record whose payload is *not* deterministic; the
+        golden-trace fixture never calls this, and :func:`diff_traces`
+        callers typically strip it first.
+        """
+        self._write(PROFILE_KIND, {"phases": dict(profile)})
+
+    def _write(self, kind: str, fields: Mapping[str, Json]) -> None:
+        if "kind" in fields or "seq" in fields:
+            raise ConfigurationError(
+                "trace fields may not shadow 'kind' or 'seq'")
+        record: Dict[str, Json] = {"seq": self.seq, "kind": kind}
+        record.update(fields)
+        self._sink.write(dumps(record) + "\n")
+        self.seq += 1
+        self.counts[kind] = self.counts.get(kind, 0) + 1
+
+    # ---------------------------------------------------------------- reading
+
+    def getvalue(self) -> str:
+        """The buffered trace text (in-memory sinks only)."""
+        if not isinstance(self._sink, io.StringIO):
+            raise ConfigurationError(
+                "getvalue() requires the default in-memory sink")
+        return self._sink.getvalue()
+
+
+def read_trace(source: Union[str, Path, Iterable[str]]) -> List[Dict[str, Json]]:
+    """Load and validate a trace from a path or an iterable of lines.
+
+    Validation: every record is an object with a known ``kind`` and the
+    ``seq`` numbers count 0, 1, 2, ... without gaps — any reordering or
+    loss (e.g. interleaved writers) fails loudly here.
+    """
+    if isinstance(source, (str, Path)):
+        lines: Iterable[str] = Path(source).read_text().splitlines()
+    else:
+        lines = source
+    records: List[Dict[str, Json]] = []
+    for line in lines:
+        if not line.strip():
+            continue
+        record = loads(line)
+        kind = record.get("kind")
+        if kind not in ALL_KINDS:
+            raise ConfigurationError(
+                f"trace record {len(records)} has unknown kind {kind!r}")
+        if record.get("seq") != len(records):
+            raise ConfigurationError(
+                f"trace sequence broken at record {len(records)}: "
+                f"got seq {record.get('seq')!r}")
+        records.append(record)
+    return records
+
+
+def census(records: Iterable[Mapping[str, Json]]) -> Dict[str, int]:
+    """Event counts per kind, sorted by kind."""
+    counts: Dict[str, int] = {}
+    for record in records:
+        kind = str(record.get("kind"))
+        counts[kind] = counts.get(kind, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def run_meta(records: Iterable[Mapping[str, Json]]) -> Dict[str, Json]:
+    """The leading ``run-meta`` payload, or an empty dict."""
+    for record in records:
+        if record.get("kind") == META_KIND:
+            return {k: v for k, v in record.items()
+                    if k not in ("kind", "seq")}
+        break
+    return {}
+
+
+def profile_of(records: Iterable[Mapping[str, Json]]) -> Dict[str, Json]:
+    """The trailing ``profile`` payload's phases, or an empty dict."""
+    phases: Dict[str, Json] = {}
+    for record in records:
+        if record.get("kind") == PROFILE_KIND:
+            found = record.get("phases")
+            if isinstance(found, dict):
+                phases = found
+    return phases
+
+
+def diff_traces(a: List[Dict[str, Json]], b: List[Dict[str, Json]],
+                ) -> Optional[str]:
+    """First divergence between two traces, or ``None`` when identical.
+
+    Comparison is on canonical record text, so field ordering in memory
+    cannot mask or fake a difference.
+    """
+    for i, (ra, rb) in enumerate(zip(a, b)):
+        if dumps(ra) != dumps(rb):
+            return (f"record {i} differs:\n  a: {dumps(ra)}\n"
+                    f"  b: {dumps(rb)}")
+    if len(a) != len(b):
+        longer = "a" if len(a) > len(b) else "b"
+        extra = (a if len(a) > len(b) else b)[min(len(a), len(b))]
+        return (f"lengths differ: a has {len(a)} records, b has {len(b)}; "
+                f"first extra in {longer}: {dumps(extra)}")
+    return None
+
+
+__all__ = ["EVENT_KINDS", "META_KIND", "PROFILE_KIND", "ALL_KINDS",
+           "TraceWriter", "dumps", "loads", "read_trace", "census",
+           "run_meta", "profile_of", "diff_traces"]

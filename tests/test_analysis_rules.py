@@ -21,10 +21,10 @@ def findings_for(rule_id, text, path=GENERIC):
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_seven_rules_registered(self):
         assert set(rule_ids()) == {
             "RAW-GEOM", "RNG-DET", "LINK-MUT", "EXC-SWALLOW", "FLOAT-EQ",
-            "FAULT-HOOK"}
+            "FAULT-HOOK", "TELEM-API"}
 
     def test_get_rule_is_case_insensitive(self):
         assert get_rule("raw-geom").id == "RAW-GEOM"
@@ -193,3 +193,39 @@ class TestFaultHook:
         assert findings_for(
             "FAULT-HOOK", bad,
             Path("src/repro/faultinject/hooks.py")) == []
+
+
+class TestTelemApi:
+    @pytest.mark.parametrize("bad", [
+        "engine.telem = session\n",
+        "controller.telem.emit('crash')\n",
+        "reviver.links.telem = session\n",
+        "session = self.chip.telem\n",
+    ])
+    def test_foreign_hook_access_is_caught(self, bad):
+        assert [f.rule for f in findings_for("TELEM-API", bad)] \
+            == ["TELEM-API"]
+
+    @pytest.mark.parametrize("bad", [
+        "count = Counter('events')\n",
+        "registry = Registry(enabled=False)\n",
+        "hist = Histogram('latency', (0.1, 1.0))\n",
+    ])
+    def test_direct_metric_construction_is_caught(self, bad):
+        assert [f.rule for f in findings_for("TELEM-API", bad)] \
+            == ["TELEM-API"]
+
+    @pytest.mark.parametrize("good", [
+        "self.telem = None\n",
+        "if self.telem is not None:\n    self.telem.emit('crash')\n",
+        "attach_exact(session, engine)\n",
+        "counter = session.registry.counter('grid.cells')\n",
+    ])
+    def test_own_hook_and_attach_api_stay_clean(self, good):
+        assert findings_for("TELEM-API", good) == []
+
+    def test_telemetry_package_is_exempt(self):
+        bad = "engine.telem = session\nregistry = Registry()\n"
+        assert findings_for(
+            "TELEM-API", bad,
+            Path("src/repro/telemetry/__init__.py")) == []

@@ -22,6 +22,7 @@ def test_every_example_is_covered():
         "lifetime_study.py",
         "quickstart.py",
         "reboot_recovery.py",
+        "telemetry_profile.py",
         "wear_quality.py",
     ]
 

@@ -117,6 +117,51 @@ def test_theorems_hold_under_adversarial_event_orders(events):
         pass  # the chip genuinely ran out of pages: a legal terminal state
 
 
+@given(events=st.lists(
+    st.one_of(
+        st.tuples(st.just("fail"),
+                  st.integers(min_value=0, max_value=BLOCKS - 2)),
+        st.tuples(st.just("rotate"),
+                  st.tuples(st.integers(min_value=0, max_value=BLOCKS - 2),
+                            st.integers(min_value=0, max_value=BLOCKS - 2)))),
+    min_size=1, max_size=60))
+@settings(max_examples=60, deadline=None)
+def test_telemetry_reconciles_with_protocol_ground_truth(events):
+    """Property: under any event interleaving, the emitted telemetry
+    reconciles exactly with the reviver's own counters — pointer-switch
+    events match the resolver's switch count, link-install events match
+    the link table, page-retire events match OS reports, and the
+    suspend/resume balance equals the outstanding suspension flag."""
+    from repro.telemetry import TelemetrySession, TraceWriter, attach_reviver
+    from repro.telemetry.trace import read_trace
+
+    world = ProtocolWorld()
+    session = TelemetrySession(writer=TraceWriter(meta={"world": "toy"}))
+    attach_reviver(session, world.reviver)
+    try:
+        for kind, payload in events:
+            if kind == "fail":
+                world.fail_block(payload)
+            else:
+                world.rotate_mapping(*payload)
+    except CapacityExhaustedError:
+        pass  # legal terminal state; everything emitted so far must agree
+    reviver = world.reviver
+    assert session.event_count("pointer-switch") == reviver.resolver.switches
+    assert session.event_count("link-install") == len(reviver.links)
+    assert session.event_count("page-retire") == world.reporter.report_count
+    suspends = session.event_count("migration-suspend")
+    resumes = session.event_count("migration-resume")
+    assert suspends - resumes == (1 if reviver.acquisition_pending else 0)
+    # The trace validates (known kinds, contiguous seq) and its census
+    # agrees with the registry's event counters.
+    records = read_trace(session.writer.getvalue().splitlines())
+    assert len(records) == session.writer.seq
+    for kind, count in session.writer.counts.items():
+        if kind != "run-meta":
+            assert session.event_count(kind) == count
+
+
 @given(seed=st.integers(min_value=0, max_value=10**6))
 @settings(max_examples=30, deadline=None)
 def test_spare_accounting_balances(seed):

@@ -1,0 +1,527 @@
+"""The telemetry subsystem: metrics, tracing, sessions, and the CLI.
+
+Three layers of assurance:
+
+* unit tests over every primitive (counters, gauges, histograms, the
+  registry's enabled flag and type guard, the trace writer's closed
+  vocabulary and sequence discipline);
+* Hypothesis properties — histogram cumulative monotonicity under any
+  observation sequence, snapshot-merge associativity/commutativity (the
+  worker-order-independence guarantee), and trace round-trip identity;
+* end-to-end reconciliation: an instrumented seeded run's event counts
+  must match the controller's own ground-truth counters exactly.
+"""
+
+import json
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigurationError
+from repro.telemetry import (TelemetrySession, TraceWriter, attach_controller,
+                             attach_exact, attach_fast, census, diff_traces,
+                             merge_snapshots, read_trace, run_meta,
+                             timed_call)
+from repro.telemetry.metrics import (DEFAULT_BUCKETS, NULL_COUNTER,
+                                     NULL_GAUGE, NULL_HISTOGRAM, Registry)
+from repro.telemetry.trace import (EVENT_KINDS, PROFILE_KIND, dumps, loads,
+                                   profile_of)
+
+# ---------------------------------------------------------------------------
+# metric primitives
+
+
+class TestCounter:
+    def test_increments_accumulate(self):
+        counter = Registry().counter("writes")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+
+    def test_negative_increment_is_rejected(self):
+        counter = Registry().counter("writes")
+        with pytest.raises(ConfigurationError, match="cannot decrease"):
+            counter.inc(-1)
+
+    def test_registry_returns_same_instance(self):
+        registry = Registry()
+        assert registry.counter("a") is registry.counter("a")
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        gauge = Registry().gauge("depth")
+        gauge.set(3)
+        gauge.set(1)
+        assert gauge.value == 1
+
+
+class TestHistogram:
+    def test_observations_land_in_correct_buckets(self):
+        hist = Registry().histogram("lat", bounds=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 100.0):
+            hist.observe(value)
+        # bisect_left: a value equal to a bound lands in that bound's bucket.
+        assert hist.counts == [2, 1, 1]
+        assert hist.total == 4
+        assert hist.sum == pytest.approx(106.5)
+
+    def test_bounds_must_be_strictly_increasing(self):
+        registry = Registry()
+        with pytest.raises(ConfigurationError, match="strictly increasing"):
+            registry.histogram("bad", bounds=(1.0, 1.0))
+        with pytest.raises(ConfigurationError, match="at least one"):
+            registry.histogram("empty", bounds=())
+
+    def test_cumulative_ends_at_total(self):
+        hist = Registry().histogram("lat", bounds=(1.0, 2.0, 3.0))
+        for value in (0.5, 2.5, 9.0):
+            hist.observe(value)
+        assert hist.cumulative()[-1] == hist.total == 3
+
+
+class TestRegistry:
+    def test_cross_type_name_collision_is_rejected(self):
+        registry = Registry()
+        registry.counter("shared")
+        with pytest.raises(ConfigurationError, match="different type"):
+            registry.gauge("shared")
+        with pytest.raises(ConfigurationError, match="different type"):
+            registry.histogram("shared")
+
+    def test_disabled_registry_hands_out_shared_null_metrics(self):
+        registry = Registry(enabled=False)
+        assert registry.counter("a") is NULL_COUNTER
+        assert registry.gauge("b") is NULL_GAUGE
+        assert registry.histogram("c") is NULL_HISTOGRAM
+        registry.counter("a").inc(5)
+        registry.gauge("b").set(5)
+        registry.histogram("c").observe(5)
+        assert NULL_COUNTER.value == 0
+        assert NULL_GAUGE.value == 0
+        assert NULL_HISTOGRAM.total == 0
+        assert registry.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_merge_folds_a_worker_snapshot(self):
+        worker = Registry()
+        worker.counter("cells").inc(3)
+        worker.gauge("peak").set(7)
+        worker.histogram("wall", bounds=(1.0,)).observe(0.5)
+        parent = Registry()
+        parent.counter("cells").inc(1)
+        parent.gauge("peak").set(9)
+        parent.merge(worker.snapshot())
+        assert parent.counter("cells").value == 4
+        assert parent.gauge("peak").value == 9
+        assert parent.histogram("wall", bounds=(1.0,)).total == 1
+
+    def test_merge_rejects_mismatched_histogram_bounds(self):
+        a = Registry()
+        a.histogram("wall", bounds=(1.0,)).observe(0.5)
+        b = Registry()
+        b.histogram("wall", bounds=(2.0,)).observe(0.5)
+        with pytest.raises(ConfigurationError, match="bounds differ"):
+            a.merge(b.snapshot())
+
+    def test_merge_into_disabled_registry_is_a_no_op(self):
+        worker = Registry()
+        worker.counter("cells").inc(3)
+        disabled = Registry(enabled=False)
+        disabled.merge(worker.snapshot())
+        assert disabled.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_merge_rejects_malformed_snapshots(self):
+        registry = Registry()
+        with pytest.raises(ConfigurationError, match="expected a number"):
+            registry.merge({"counters": {"x": "three"}})
+        with pytest.raises(ConfigurationError, match="not a mapping"):
+            registry.merge({"histograms": {"h": [1, 2]}})
+        with pytest.raises(ConfigurationError, match="expected a list"):
+            registry.merge({"histograms": {"h": {"bounds": "oops"}}})
+        # Same bounds but a truncated counts vector: the overflow bucket
+        # is implicit, so len(counts) must be len(bounds) + 1.
+        registry.histogram("wall", bounds=(1.0,))
+        with pytest.raises(ConfigurationError, match="bucket count"):
+            registry.merge({"histograms": {"wall": {
+                "bounds": [1.0], "counts": [2], "total": 2, "sum": 0.5}}})
+
+
+# ---------------------------------------------------------------------------
+# hypothesis properties
+
+
+@given(values=st.lists(st.floats(min_value=-1e6, max_value=1e6,
+                                 allow_nan=False), max_size=200))
+@settings(max_examples=100, deadline=None)
+def test_histogram_cumulative_is_monotone(values):
+    """Property: cumulative bucket counts never decrease and end at the
+    total, for any observation sequence."""
+    hist = Registry().histogram("h", bounds=DEFAULT_BUCKETS)
+    for value in values:
+        hist.observe(value)
+    cumulative = hist.cumulative()
+    assert all(a <= b for a, b in zip(cumulative, cumulative[1:]))
+    assert cumulative[-1] == hist.total == len(values)
+
+
+def _snapshot_strategy():
+    names = st.sampled_from(["a", "b", "c"])
+    counters = st.dictionaries(names, st.integers(min_value=0,
+                                                  max_value=1000))
+    gauges = st.dictionaries(names.map(lambda n: "g." + n),
+                             st.integers(min_value=-50, max_value=50))
+    histograms = st.dictionaries(
+        names.map(lambda n: "h." + n),
+        st.lists(st.integers(min_value=0, max_value=9), min_size=3,
+                 max_size=3).map(lambda counts: {
+                     "bounds": [1.0, 2.0], "counts": counts,
+                     "total": sum(counts), "sum": float(sum(counts))}))
+    return st.fixed_dictionaries({"counters": counters, "gauges": gauges,
+                                  "histograms": histograms})
+
+
+@given(a=_snapshot_strategy(), b=_snapshot_strategy(),
+       c=_snapshot_strategy())
+@settings(max_examples=100, deadline=None)
+def test_snapshot_merge_is_associative_and_commutative(a, b, c):
+    """Property: merge order never matters — workers can finish in any
+    order and the aggregate is identical."""
+    assert merge_snapshots(a, b) == merge_snapshots(b, a)
+    assert merge_snapshots(merge_snapshots(a, b), c) == \
+        merge_snapshots(a, merge_snapshots(b, c))
+
+
+_FIELD_VALUES = st.one_of(st.none(), st.booleans(),
+                          st.integers(min_value=-2**31, max_value=2**31),
+                          st.text(max_size=20))
+
+
+@given(events=st.lists(
+    st.tuples(st.sampled_from(sorted(EVENT_KINDS)),
+              st.dictionaries(st.sampled_from(["da", "vpa", "page", "note"]),
+                              _FIELD_VALUES, max_size=4)),
+    max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_trace_round_trips_identically(events):
+    """Property: dumps -> loads -> dumps is the identity on any emitted
+    trace, and read_trace validates it."""
+    writer = TraceWriter(meta={"seed": 1})
+    for kind, fields in events:
+        writer.emit(kind, **fields)
+    text = writer.getvalue()
+    records = read_trace(text.splitlines())
+    assert "\n".join(dumps(r) for r in records) + "\n" == text
+    assert records == [loads(line) for line in text.splitlines()]
+    assert diff_traces(records, read_trace(text.splitlines())) is None
+
+
+# ---------------------------------------------------------------------------
+# trace writer + reader
+
+
+class TestTraceWriter:
+    def test_unknown_kind_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="closed"):
+            TraceWriter().emit("link-instal")  # typo'd kind
+
+    def test_fields_cannot_shadow_kind_or_seq(self):
+        writer = TraceWriter()
+        with pytest.raises(ConfigurationError, match="shadow"):
+            writer.emit("crash", seq=99)
+
+    def test_sequence_numbers_are_contiguous_from_zero(self):
+        writer = TraceWriter(meta={"seed": 1})
+        writer.emit("crash", site="x")
+        writer.emit("recover")
+        records = read_trace(writer.getvalue().splitlines())
+        assert [r["seq"] for r in records] == [0, 1, 2]
+        assert run_meta(records) == {"seed": 1}
+        assert census(records) == {"crash": 1, "recover": 1, "run-meta": 1}
+
+    def test_read_trace_rejects_broken_sequence(self):
+        lines = [dumps({"seq": 0, "kind": "crash"}),
+                 dumps({"seq": 2, "kind": "recover"})]
+        with pytest.raises(ConfigurationError, match="sequence broken"):
+            read_trace(lines)
+
+    def test_read_trace_rejects_unknown_kind(self):
+        with pytest.raises(ConfigurationError, match="unknown kind"):
+            read_trace([dumps({"seq": 0, "kind": "nonsense"})])
+
+    def test_diff_reports_first_divergence_and_length(self):
+        a = [{"seq": 0, "kind": "crash"}]
+        b = [{"seq": 0, "kind": "recover"}]
+        assert "record 0 differs" in diff_traces(a, b)
+        assert "lengths differ" in diff_traces(a, a + b)
+        assert diff_traces(a, list(a)) is None
+
+    def test_profile_record_is_parsed(self):
+        writer = TraceWriter()
+        writer.emit("crash")
+        writer.append_profile({"verify": {"seconds": 1.5, "calls": 2}})
+        records = read_trace(writer.getvalue().splitlines())
+        assert records[-1]["kind"] == PROFILE_KIND
+        assert profile_of(records) == {
+            "verify": {"seconds": 1.5, "calls": 2}}
+
+    def test_loads_rejects_a_non_object_line(self):
+        with pytest.raises(ConfigurationError, match="not an object"):
+            loads("[1, 2, 3]")
+
+    def test_getvalue_requires_the_in_memory_sink(self, tmp_path):
+        with open(tmp_path / "run.jsonl", "w") as sink:
+            writer = TraceWriter(sink=sink)
+            writer.emit("crash")
+            with pytest.raises(ConfigurationError, match="in-memory"):
+                writer.getvalue()
+
+    def test_read_trace_skips_blank_lines(self):
+        lines = ["", dumps({"seq": 0, "kind": "crash"}), "   ",
+                 dumps({"seq": 1, "kind": "recover"}), ""]
+        assert [r["kind"] for r in read_trace(lines)] == ["crash", "recover"]
+
+    def test_run_meta_is_empty_unless_the_trace_leads_with_it(self):
+        assert run_meta([]) == {}
+        assert run_meta([{"seq": 0, "kind": "crash"},
+                         {"seq": 1, "kind": "run-meta", "seed": 3}]) == {}
+
+
+# ---------------------------------------------------------------------------
+# the session facade
+
+
+class TestSession:
+    def test_emit_counts_and_traces_in_lockstep(self):
+        session = TelemetrySession(writer=TraceWriter())
+        session.emit("page-retire", page=3)
+        session.emit("page-retire", page=4)
+        assert session.event_count("page-retire") == 2
+        assert session.writer.counts["page-retire"] == 2
+
+    def test_emit_without_writer_still_counts(self):
+        session = TelemetrySession()
+        session.emit("crash")
+        assert session.event_count("crash") == 1
+
+    def test_phase_timing_accumulates_into_profile(self):
+        session = TelemetrySession()
+        with session.phase("verify"):
+            pass
+        session.add_phase_seconds("verify", 1.25)
+        profile = session.profile()
+        assert profile["verify"]["calls"] == 2
+        assert profile["verify"]["seconds"] >= 1.25
+
+    def test_append_profile_lands_in_the_trace(self):
+        session = TelemetrySession(writer=TraceWriter())
+        session.add_phase_seconds("verify", 0.5)
+        session.append_profile()
+        records = read_trace(session.writer.getvalue().splitlines())
+        assert profile_of(records)["verify"]["calls"] == 1
+
+    def test_timed_call_returns_value_and_timing(self):
+        value, timing = timed_call(sum, [1, 2, 3])
+        assert value == 6
+        assert timing.wall >= 0.0 and timing.cpu >= 0.0
+
+    def test_gauge_and_histogram_shorthands(self):
+        session = TelemetrySession()
+        session.set_gauge("grid.jobs", 4)
+        session.observe("grid.cell_wall", 0.2, bounds=(1.0,))
+        assert session.registry.gauge("grid.jobs").value == 4
+        assert session.registry.histogram("grid.cell_wall",
+                                          bounds=(1.0,)).total == 1
+
+    def test_profile_ignores_counters_outside_the_phase_shape(self):
+        session = TelemetrySession()
+        session.count("phase.verify.seconds", 2)
+        session.count("phase.verify.calls")
+        session.count("phase.oddball")          # no .seconds/.calls suffix
+        session.count("phase.x.bogus")          # unknown field
+        assert session.profile() == {"verify": {"seconds": 2, "calls": 1}}
+
+
+# ---------------------------------------------------------------------------
+# end-to-end reconciliation against ground truth
+
+
+def test_exact_run_events_reconcile_with_controller_counters():
+    """An instrumented exact run's event census must agree exactly with
+    the controller's own ground-truth counters."""
+    from repro.faultinject.campaign import _exact_system, _schedule_horizon
+    from repro.faultinject.hooks import ScheduleDriver
+    from repro.faultinject.schedule import random_schedule
+
+    engine = _exact_system(seed=5, num_blocks=96, mean=120.0)
+    schedule = random_schedule(5, 96, _schedule_horizon(96, 120.0, 10_000))
+    ScheduleDriver(schedule).attach_exact(engine)
+    session = TelemetrySession(writer=TraceWriter(meta={"seed": 5}))
+    attach_exact(session, engine)
+    engine.run(max_writes=10_000)
+    engine.verify_all()
+
+    controller = engine.controller
+    reviver = controller.reviver
+    assert session.event_count("pointer-switch") == reviver.resolver.switches
+    assert session.event_count("page-retire") == \
+        controller.reporter.report_count
+    assert session.event_count("crash") == controller.crashes_recovered
+    assert session.event_count("recover") == controller.crashes_recovered
+    assert session.event_count("read-retry") == \
+        controller.transient_read_errors
+    # Inverse rewrites mirror the "inverse" metadata writes one-for-one:
+    # one per link, two per switch, one per recovery redo of that side.
+    assert session.event_count("inverse-rewrite") >= \
+        session.event_count("link-install") + \
+        2 * session.event_count("pointer-switch")
+    # Installs and restores cover every currently linked block.
+    assert session.event_count("link-install") + \
+        session.event_count("link-restore") >= len(reviver.links)
+    # The trace validates and its census matches the registry.
+    records = read_trace(session.writer.getvalue().splitlines())
+    for kind, count in census(records).items():
+        if kind in EVENT_KINDS:
+            assert session.event_count(kind) == count
+    # The run did something worth tracing.
+    assert len(reviver.links) > 0
+    assert controller.crashes_recovered > 0
+
+
+def test_fast_run_links_reconcile_and_phases_are_profiled():
+    """Instrumented FastEngine: link-install events equal the link dict,
+    page-retire events equal OS reports, and every epoch phase shows up
+    in the profile."""
+    from repro.pcm import AddressGeometry, EnduranceModel, PCMChip
+    from repro.ecc import ECP
+    from repro.sim.fast import FastConfig, FastEngine
+    from repro.traces import hotspot_distribution
+    from repro.wl import StartGap
+
+    geometry = AddressGeometry(num_blocks=256, block_bytes=64, page_bytes=512)
+    endurance = EnduranceModel(num_blocks=256, mean=150.0, cov=0.25,
+                               max_order=8, seed=3)
+    chip = PCMChip(geometry, ECP(endurance, 1))
+    wl = StartGap(256)
+    config = FastConfig(batch_writes=2_000, max_writes=60_000, seed=9)
+    trace = hotspot_distribution(config.blocks_per_page * 3, 4.0, seed=4)
+    engine = FastEngine(chip, wl, trace, config=config)
+    session = TelemetrySession(writer=TraceWriter())
+    attach_fast(session, engine)
+    engine.run()
+
+    assert session.event_count("link-install") == len(engine.links)
+    assert session.event_count("page-retire") == \
+        engine.reporter.report_count
+    assert session.registry.counter("fast.writes").value == \
+        engine.total_writes
+    profile = session.profile()
+    for phase in ("redirect-rebuild", "software-apply", "wear-leveling"):
+        assert profile[phase]["calls"] > 0
+
+
+def test_attach_controller_reaches_reviver_and_reporter():
+    from .conftest import make_reviver_system
+
+    controller, _, _, _ = make_reviver_system(num_blocks=64, mean=200.0)
+    session = TelemetrySession()
+    attach_controller(session, controller)
+    assert controller.telem is session
+    assert controller.reviver.telem is session
+    assert controller.reviver.links.telem is session
+    assert controller.reporter.telem is session
+
+
+# ---------------------------------------------------------------------------
+# the CLI
+
+
+def _write_sample_trace(path):
+    writer = TraceWriter(meta={"seed": 7, "engine": "exact"})
+    writer.emit("link-install", da=3, vpa=40)
+    writer.emit("crash", site="mid-migration")
+    writer.emit("recover", crashes=1)
+    writer.append_profile({"verify": {"seconds": 0.25, "calls": 1}})
+    path.write_text(writer.getvalue())
+    return path
+
+
+class TestCli:
+    def test_summarize_text(self, tmp_path, capsys):
+        from repro.telemetry.cli import main
+
+        trace = _write_sample_trace(tmp_path / "run.jsonl")
+        assert main(["summarize", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "link-install" in out
+        assert "seed: 7" in out
+        assert "verify" in out  # the profile table
+
+    def test_summarize_json(self, tmp_path, capsys):
+        from repro.telemetry.cli import main
+
+        trace = _write_sample_trace(tmp_path / "run.jsonl")
+        assert main(["summarize", str(trace), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["census"]["crash"] == 1
+        assert payload["meta"]["engine"] == "exact"
+        assert payload["profile"]["verify"]["calls"] == 1
+
+    def test_diff_identical_and_divergent(self, tmp_path, capsys):
+        from repro.telemetry.cli import main
+
+        a = _write_sample_trace(tmp_path / "a.jsonl")
+        b = _write_sample_trace(tmp_path / "b.jsonl")
+        assert main(["diff", str(a), str(b)]) == 0
+        assert "identical" in capsys.readouterr().out
+        b.write_text(b.read_text().replace('"da":3', '"da":4'))
+        assert main(["diff", str(a), str(b)]) == 1
+        assert "record 1 differs" in capsys.readouterr().out
+
+    def test_bad_trace_is_an_error_exit(self, tmp_path, capsys):
+        from repro.telemetry.cli import main
+
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text('{"seq": 0, "kind": "nonsense"}\n')
+        assert main(["summarize", str(bad)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_format_profile_tolerates_malformed_stats(self):
+        from repro.telemetry.cli import _format_profile
+
+        lines = _format_profile({
+            "good": {"seconds": 1.0, "calls": 2},
+            "not-a-dict": 7,
+            "bad-fields": {"seconds": "fast", "calls": None},
+        })
+        assert any(line.startswith("good") for line in lines)
+        assert not any("not-a-dict" in line for line in lines)
+        assert any(line.startswith("bad-fields") for line in lines)
+        assert lines[-1].startswith("total")
+
+    def test_module_entry_point(self, tmp_path):
+        import subprocess
+        import sys
+
+        trace = _write_sample_trace(tmp_path / "run.jsonl")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.telemetry", "summarize",
+             str(trace)],
+            capture_output=True, text=True)
+        assert proc.returncode == 0
+        assert "census" in proc.stdout
+
+    def test_module_entry_point_in_process(self, tmp_path, capsys,
+                                           monkeypatch):
+        import runpy
+        import sys
+
+        trace = _write_sample_trace(tmp_path / "run.jsonl")
+        monkeypatch.setattr(
+            sys, "argv", ["repro.telemetry", "summarize", str(trace)])
+        with pytest.raises(SystemExit) as excinfo:
+            runpy.run_module("repro.telemetry", run_name="__main__")
+        assert excinfo.value.code == 0
+        assert "census" in capsys.readouterr().out

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Line coverage of the telemetry package, with no external tooling.
+
+CI measures coverage with pytest-cov; this script provides the same
+telemetry-package check locally using only the standard library
+(``sys.settrace``), so the "telemetry is fully covered" claim can be
+verified in any environment::
+
+    PYTHONPATH=src python tools/telemetry_coverage.py
+
+It runs the telemetry test modules in-process under a line tracer scoped
+to ``src/repro/telemetry`` and reports, per file, the executable lines
+(from the compiled code objects) that the tests never hit.  Exits 1 when
+the package's total line coverage falls below the floor.
+"""
+
+from __future__ import annotations
+
+import ast
+import dis
+import sys
+from pathlib import Path
+from types import CodeType, FrameType
+from typing import Any, Dict, Optional, Set
+
+REPO = Path(__file__).resolve().parent.parent
+PACKAGE = REPO / "src" / "repro" / "telemetry"
+TESTS = ["tests/test_telemetry.py", "tests/test_golden_trace.py",
+         "tests/test_reviver_properties.py"]
+
+#: Coverage floor for the telemetry package, in percent.
+FLOOR = 100.0
+
+
+def _executable_lines(code: CodeType, lines: Set[int]) -> None:
+    for _, line in dis.findlinestarts(code):
+        # CPython 3.11+ attributes module set-up instructions to line 0
+        # (and sometimes None); neither is a source line.
+        if line:
+            lines.add(line)
+    for const in code.co_consts:
+        if isinstance(const, CodeType):
+            _executable_lines(const, lines)
+
+
+def _excluded_lines(source: str) -> Set[int]:
+    """Lines that are unreachable by design: ``if TYPE_CHECKING:`` bodies.
+
+    The guard line itself executes (and must be hit); only the import
+    block underneath it is typing-time-only, same as coverage.py's
+    conventional ``exclude_lines`` entry.
+    """
+    excluded: Set[int] = set()
+    for node in ast.walk(ast.parse(source)):
+        if (isinstance(node, ast.If) and isinstance(node.test, ast.Name)
+                and node.test.id == "TYPE_CHECKING"):
+            for child in node.body:
+                end = child.end_lineno or child.lineno
+                excluded.update(range(child.lineno, end + 1))
+    return excluded
+
+
+def collect_executable(path: Path) -> Set[int]:
+    """Every line the compiler can start executing in *path*."""
+    source = path.read_text()
+    lines: Set[int] = set()
+    _executable_lines(compile(source, str(path), "exec"), lines)
+    # Module docstring lines register as line 1 starts; keep them — they
+    # execute on import, which the test run performs.
+    return lines - _excluded_lines(source)
+
+
+def main() -> int:
+    hit: Dict[str, Set[int]] = {}
+    prefix = str(PACKAGE)
+
+    def tracer(frame: FrameType, event: str,
+               arg: Any) -> Optional[Any]:
+        filename = frame.f_code.co_filename
+        if not filename.startswith(prefix):
+            # Returning None would switch off local tracing for the whole
+            # call subtree, losing telemetry frames called from it.
+            return tracer
+        if event == "line":
+            hit.setdefault(filename, set()).add(frame.f_lineno)
+        return tracer
+
+    import pytest
+
+    sys.settrace(tracer)
+    try:
+        status = pytest.main(["-q", "--no-header", "-p", "no:cacheprovider",
+                              *TESTS])
+    finally:
+        sys.settrace(None)
+    if status != 0:
+        print("test run failed; coverage not evaluated", file=sys.stderr)
+        return int(status)
+
+    total_exec = 0
+    total_hit = 0
+    print(f"\ntelemetry package coverage ({', '.join(TESTS)}):")
+    for path in sorted(PACKAGE.glob("*.py")):
+        executable = collect_executable(path)
+        covered = hit.get(str(path), set()) & executable
+        missing = sorted(executable - covered)
+        total_exec += len(executable)
+        total_hit += len(covered)
+        pct = 100.0 * len(covered) / len(executable) if executable else 100.0
+        note = "" if not missing else f"  missing: {missing}"
+        print(f"  {path.name:<14} {pct:6.1f}% "
+              f"({len(covered)}/{len(executable)}){note}")
+    total_pct = 100.0 * total_hit / total_exec if total_exec else 100.0
+    print(f"  {'TOTAL':<14} {total_pct:6.1f}% ({total_hit}/{total_exec})")
+    if total_pct < FLOOR:
+        print(f"coverage {total_pct:.1f}% is below the {FLOOR:.0f}% floor",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
