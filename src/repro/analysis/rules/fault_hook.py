@@ -9,6 +9,12 @@ on one rule: only :mod:`repro.faultinject` may attach, detach, or call
 those hooks.  A stray ``engine.inject = ...`` in an experiment or a
 convenience ``chip.inject.on_read(...)`` in a test helper silently turns
 a deterministic simulation into an injected one.
+
+The array layer (:mod:`repro.array`) is deliberately *not* exempt: shard
+cells receive per-shard schedules projected by
+:func:`repro.faultinject.for_shard` and wire them with
+``ScheduleDriver.attach_fast`` like everyone else — N devices are N
+times the temptation to poke a hook directly.
 """
 
 from __future__ import annotations

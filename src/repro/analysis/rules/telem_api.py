@@ -10,6 +10,12 @@ primitives directly (everything else goes through a
 :class:`~repro.telemetry.session.TelemetrySession` or a
 :class:`~repro.telemetry.metrics.Registry` factory method, which is what
 makes the single ``enabled`` flag authoritative).
+
+The array layer (:mod:`repro.array`) is deliberately *not* exempt: each
+shard cell opens its own :class:`TelemetrySession`, attaches it with
+``attach_fast``, and the engine combines per-shard snapshots with the
+pure :func:`~repro.telemetry.merge_snapshots` — merging data, never
+reaching into another shard's hooks.
 """
 
 from __future__ import annotations

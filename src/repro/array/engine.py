@@ -1,0 +1,497 @@
+"""The array engine: shared-nothing shards behind one decoder.
+
+:class:`ArrayEngine` services a single global write distribution with an
+array of independent shard stacks (chip + Start-Gap + recovery), each a
+full :class:`~repro.sim.fast.FastEngine` run as a grid cell of the
+parallel harness.  Shards never share state; what couples them is pure
+arithmetic:
+
+* the :class:`~repro.array.decoder.InterleavedDecoder` projects the
+  global distribution into per-shard local mass vectors (a shard's
+  *share* is its mass);
+* a **global write clock** relates the shards: a shard with share ``f``
+  advances its local clock ``f`` writes per global write, giving each
+  shard a piecewise-linear local<->global map that the engine maintains
+  as shares change.
+
+End-of-life is decided on the global clock.  Each *round*, every live
+shard runs to its own stop condition; the earliest death on the global
+clock wins (ties broken by shard id):
+
+``fail-stop``
+    The array dies with its first shard.  Survivors are re-run capped at
+    the death point (epoch-aligned) so the merged result describes the
+    array at the moment it stopped.
+``degraded``
+    The dead shard drops out of the decoder: its local mass re-decodes
+    round-robin onto the survivors, whose traces gain a new segment at
+    their next epoch boundary, and the array keeps serving at reduced
+    usable capacity until the last shard dies (or the budget runs out).
+
+Determinism: per-shard seeds derive from the array seed and shard index
+only, segment boundaries and write caps are quantized to whole epochs,
+and per-segment trace generators are independent — so re-running a
+survivor with appended segments replays its prefix byte-identically, and
+the whole array result (merged telemetry snapshot included) is invariant
+under ``jobs``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..experiments.parallel import Cell, GridRunner, ProgressFn
+from ..faultinject import FaultSchedule, for_shard
+from ..rng import SeedLike
+from ..sim.metrics import LifetimeSeries, SamplePoint
+from ..sim.stop import StopCause, StopReason
+from ..telemetry import merge_snapshots
+from ..traces.base import DistributionTrace
+from ..units import blocks_of_pages, ceil_div, page_count
+from .decoder import INTERLEAVE_MODES, InterleavedDecoder
+from .report import ArrayEndOfLifeReport, ShardCensus
+from .shard import idle_result, run_shard_cell, shard_seed
+
+#: Array end-of-life policies.
+ARRAY_POLICIES: Tuple[str, ...] = ("fail-stop", "degraded")
+
+#: Dotted reference GridRunner workers re-import for each shard cell.
+_CELL_FN = f"{run_shard_cell.__module__}:{run_shard_cell.__name__}"
+
+
+@dataclass
+class ArrayConfig:
+    """Parameters of a homogeneous shard array."""
+
+    num_shards: int = 4
+    #: Device blocks per shard chip (must be a whole number of pages).
+    shard_blocks: int = 1024
+    interleave: str = "block"
+    policy: str = "degraded"
+    #: OS page size in blocks (shared by decoder and every shard stack).
+    page_blocks: int = 64
+    mean_endurance: float = 800.0
+    endurance_cov: float = 0.2
+    max_order: int = 16
+    ecp_k: int = 6
+    psi: int = 12
+    recovery: str = "reviver"
+    dead_fraction: float = 0.3
+    #: Software writes per shard epoch (segment boundaries are quantized
+    #: to this, so prefix replay is draw-for-draw identical).
+    batch_writes: int = 4000
+    #: Global write budget (None = run the array to death).
+    max_writes: Optional[int] = None
+    telemetry: bool = True
+    seed: SeedLike = None
+
+    def __post_init__(self) -> None:
+        if self.policy not in ARRAY_POLICIES:
+            raise ConfigurationError(
+                f"unknown policy {self.policy!r}; "
+                f"choose from {ARRAY_POLICIES}")
+        if self.interleave not in INTERLEAVE_MODES:
+            raise ConfigurationError(
+                f"unknown interleave {self.interleave!r}; "
+                f"choose from {INTERLEAVE_MODES}")
+        if self.num_shards < 1:
+            raise ConfigurationError("array needs at least one shard")
+        if self.shard_blocks < 2 * self.page_blocks:
+            # Start-Gap spends one line on the gap, which costs the
+            # software space a whole page; below two pages nothing is
+            # left to serve.
+            raise ConfigurationError(
+                "shard_blocks must be at least two OS pages")
+
+    @property
+    def software_blocks(self) -> int:
+        """Software-visible blocks per shard (whole pages after the gap)."""
+        return blocks_of_pages(
+            page_count(self.shard_blocks - 1, self.page_blocks),
+            self.page_blocks)
+
+
+@dataclass
+class _ShardState:
+    """Book-keeping the engine keeps per shard between rounds."""
+
+    #: Current local mass vector (in global-probability units).
+    mass: np.ndarray
+    #: ``(start_write, mass_vector)`` trace segments, epoch-aligned.
+    segments: List[Tuple[int, np.ndarray]]
+    #: ``(local_start, global_start, share)`` pieces of the clock map.
+    pieces: List[Tuple[int, float, float]]
+    result: Optional[dict] = None
+    dead: bool = False
+    death_global: Optional[float] = None
+    #: Fail-stop: epoch-aligned local write cap for the truncation re-run.
+    forced_cap: Optional[int] = None
+
+    @property
+    def share(self) -> float:
+        """Current share of global traffic."""
+        return float(self.mass.sum())
+
+
+@dataclass
+class ArrayResult:
+    """Everything one array run produces."""
+
+    label: str
+    config: ArrayConfig
+    #: Merged survival/usable series on the global write clock.
+    series: LifetimeSeries
+    #: Associatively merged per-shard telemetry (plus array counters).
+    snapshot: Dict[str, Dict[str, object]]
+    report: ArrayEndOfLifeReport
+    #: Raw per-shard cell records, by shard index.
+    shards: List[dict] = field(default_factory=list)
+    rounds: int = 0
+
+    def as_dict(self) -> dict:
+        """JSON-ready form for the CLI and experiment artifacts."""
+        return {"label": self.label,
+                "policy": self.config.policy,
+                "interleave": self.config.interleave,
+                "num_shards": self.config.num_shards,
+                "rounds": self.rounds,
+                "report": self.report.as_dict(),
+                "series": self.series.to_payload(),
+                "snapshot": self.snapshot}
+
+
+class ArrayEngine:
+    """Round-based lifetime simulation of a shard array."""
+
+    def __init__(self, config: ArrayConfig, trace: DistributionTrace,
+                 label: str = "array", jobs: int = 1,
+                 schedule: Optional[FaultSchedule] = None,
+                 progress: Optional[ProgressFn] = None) -> None:
+        self.config = config
+        self.label = label
+        self.jobs = jobs
+        self.schedule = schedule
+        self.progress = progress
+        self.decoder = InterleavedDecoder(
+            config.num_shards, config.software_blocks,
+            interleave=config.interleave, page_blocks=config.page_blocks)
+        if trace.virtual_blocks < self.decoder.global_blocks:
+            raise ConfigurationError(
+                f"trace covers {trace.virtual_blocks} blocks, the array "
+                f"decodes {self.decoder.global_blocks}; build the workload "
+                f"for the array's global space")
+        folded = trace.restricted_to(self.decoder.global_blocks)
+        self.probabilities = folded.probabilities
+        self.result: Optional[ArrayResult] = None
+
+    # -------------------------------------------------------------- the clock
+
+    def _global_at_local(self, state: _ShardState, local: int) -> float:
+        """Global write count when *state*'s local clock reads *local*."""
+        for start, global_start, share in reversed(state.pieces):
+            if local >= start:
+                if share <= 0:
+                    return global_start
+                return global_start + (local - start) / share
+        return 0.0
+
+    def _local_at_global(self, state: _ShardState, at: float) -> float:
+        """*state*'s local clock when the global clock reads *at*."""
+        for start, global_start, share in reversed(state.pieces):
+            if at >= global_start:
+                return start + share * (at - global_start)
+        return 0.0
+
+    def _epoch_ceil(self, value: float) -> int:
+        """Smallest whole-epoch local write count >= *value*."""
+        whole = max(0, int(math.ceil(value - 1e-9)))
+        return ceil_div(whole, self.config.batch_writes) \
+            * self.config.batch_writes
+
+    # ------------------------------------------------------------------- run
+
+    def run(self) -> ArrayResult:
+        """Simulate the array to its end of life; return the merged result."""
+        cfg = self.config
+        states = [self._boot_state(i) for i in range(cfg.num_shards)]
+        seeds = [shard_seed(cfg.seed, i) for i in range(cfg.num_shards)]
+        dead_order: List[int] = []
+        pending = [i for i in range(cfg.num_shards) if states[i].share > 0]
+        for i in range(cfg.num_shards):
+            if states[i].share <= 0:
+                states[i].result = idle_result(i, cfg.software_blocks)
+        rounds = 0
+        stop: Optional[StopReason] = None
+        while stop is None:
+            rounds += 1
+            self._run_round(rounds, pending, states, seeds)
+            deaths: List[Tuple[float, int]] = []
+            for i, state in enumerate(states):
+                record = state.result
+                if (state.dead or record is None
+                        or record["stop"] == StopCause.MAX_WRITES.value):
+                    continue
+                deaths.append((self._global_at_local(
+                    state, int(record["local_writes"])), i))
+            deaths.sort()
+            if not deaths:
+                stop = StopReason(StopCause.MAX_WRITES)
+                break
+            death_global, victim = deaths[0]
+            states[victim].dead = True
+            states[victim].death_global = death_global
+            dead_order.append(victim)
+            live = [i for i in range(cfg.num_shards) if not states[i].dead]
+            if cfg.policy == "fail-stop":
+                pending = self._truncate_survivors(states, live,
+                                                   death_global)
+                if pending:
+                    rounds += 1
+                    self._run_round(rounds, pending, states, seeds)
+                stop = StopReason(
+                    StopCause.SHARD_FAILED,
+                    f"shard {victim} at ~{int(death_global):,} "
+                    f"global writes")
+                break
+            if not live:
+                stop = StopReason(StopCause.EXHAUSTED, "all shards dead")
+                break
+            pending = self._redistribute(states, victim, live, death_global)
+        return self._assemble(states, dead_order, stop, rounds)
+
+    # ---------------------------------------------------------------- rounds
+
+    def _boot_state(self, shard: int) -> _ShardState:
+        mass = self.decoder.local_mass(self.probabilities, shard)
+        return _ShardState(mass=mass, segments=[(0, mass.copy())],
+                           pieces=[(0, 0.0, float(mass.sum()))])
+
+    def _run_round(self, round_no: int, pending: List[int],
+                   states: List[_ShardState], seeds: List[int]) -> None:
+        """Run the pending shards' cells and record their results."""
+        if not pending:
+            return
+        cells = []
+        for i in pending:
+            key = f"{self.label}/r{round_no}/s{i}"
+            cells.append(Cell(key=key, fn=_CELL_FN,
+                              kwargs=self._cell_kwargs(i, states[i],
+                                                       seeds[i])))
+        runner = GridRunner(jobs=self.jobs, progress=self.progress)
+        values = runner.run(cells)
+        for i in pending:
+            states[i].result = values[f"{self.label}/r{round_no}/s{i}"]
+
+    def _cell_kwargs(self, shard: int, state: _ShardState,
+                     seed: int) -> dict:
+        cfg = self.config
+        cap: Optional[int] = None
+        if cfg.max_writes is not None:
+            cap = self._epoch_ceil(
+                self._local_at_global(state, float(cfg.max_writes)))
+        if state.forced_cap is not None:
+            cap = (state.forced_cap if cap is None
+                   else min(cap, state.forced_cap))
+        schedule_json: Optional[str] = None
+        if self.schedule is not None:
+            schedule_json = for_shard(self.schedule, shard).to_json()
+        segments = [[start, [float(x) for x in mass]]
+                    for start, mass in state.segments]
+        return dict(shard=shard, seed=seed,
+                    device_blocks=cfg.shard_blocks,
+                    mean_endurance=cfg.mean_endurance,
+                    endurance_cov=cfg.endurance_cov,
+                    max_order=cfg.max_order, ecp_k=cfg.ecp_k, psi=cfg.psi,
+                    batch_writes=cfg.batch_writes, recovery=cfg.recovery,
+                    dead_fraction=cfg.dead_fraction,
+                    page_blocks=cfg.page_blocks, segments=segments,
+                    max_writes=cap, schedule=schedule_json,
+                    telemetry=cfg.telemetry,
+                    label=f"{self.label}/s{shard}")
+
+    def _truncate_survivors(self, states: List[_ShardState],
+                            live: List[int],
+                            death_global: float) -> List[int]:
+        """Fail-stop: cap every survivor at the death point (epoch-aligned).
+
+        Returns the shards that must re-run; a survivor whose previous
+        cap already matches keeps its result.
+        """
+        pending = []
+        for i in live:
+            state = states[i]
+            cap = self._epoch_ceil(
+                self._local_at_global(state, death_global))
+            assert state.result is not None
+            if int(state.result["local_writes"]) != cap:
+                state.forced_cap = cap
+                pending.append(i)
+        return pending
+
+    def _redistribute(self, states: List[_ShardState], victim: int,
+                      live: List[int], death_global: float) -> List[int]:
+        """Degraded mode: re-decode the dead shard's mass onto survivors.
+
+        Local address ``l`` of the dead shard re-homes to the survivor at
+        round-robin position ``l mod len(live)``, at the same local
+        position — deterministic, capacity-free, and spreading any hot
+        set of the dead shard across every survivor.  Returns the shards
+        whose traffic actually changed (only those re-run).
+        """
+        cfg = self.config
+        dead_mass = states[victim].mass
+        states[victim].mass = np.zeros_like(dead_mass)
+        positions = np.arange(cfg.software_blocks, dtype=np.int64)
+        pending = []
+        for slot, survivor in enumerate(live):
+            take = positions % len(live) == slot
+            inherited = dead_mass[take]
+            if inherited.sum() <= 0:
+                continue
+            state = states[survivor]
+            state.mass = state.mass.copy()
+            state.mass[take] += inherited
+            boundary = self._epoch_ceil(
+                self._local_at_global(state, death_global))
+            global_at_boundary = max(
+                death_global, self._global_at_local(state, boundary))
+            self._append_segment(state, boundary, state.mass.copy(),
+                                 global_at_boundary)
+            pending.append(survivor)
+        return pending
+
+    def _append_segment(self, state: _ShardState, boundary: int,
+                        mass: np.ndarray, global_start: float) -> None:
+        """Extend a shard's trace and clock map at an epoch boundary.
+
+        A boundary equal to the last segment's start *replaces* it — the
+        shard had not consumed any of that segment yet (e.g. an idle
+        shard inheriting its first traffic).
+        """
+        segments = list(state.segments)
+        pieces = list(state.pieces)
+        if segments and segments[-1][0] == boundary:
+            segments[-1] = (boundary, mass)
+            pieces[-1] = (boundary, global_start, float(mass.sum()))
+        else:
+            segments.append((boundary, mass))
+            pieces.append((boundary, global_start, float(mass.sum())))
+        state.segments = segments
+        state.pieces = pieces
+
+    # -------------------------------------------------------------- assembly
+
+    def _assemble(self, states: List[_ShardState], dead_order: List[int],
+                  stop: Optional[StopReason],
+                  rounds: int) -> ArrayResult:
+        cfg = self.config
+        base_shares = [float(self.decoder.local_mass(
+            self.probabilities, i).sum()) for i in range(cfg.num_shards)]
+        census = []
+        rescaled = []
+        total_writes = 0
+        for i, state in enumerate(states):
+            record = state.result
+            assert record is not None
+            report = record["report"]
+            local_writes = int(record["local_writes"])
+            total_writes += local_writes
+            died_at = (int(state.death_global)
+                       if state.death_global is not None else None)
+            census.append(ShardCensus(
+                shard=i, share=base_shares[i], final_share=state.share,
+                local_writes=local_writes, stop=str(record["stop"]),
+                died_at_global=died_at, report=dict(report)))
+            rescaled.append(self._global_series(i, state, record))
+        merged = LifetimeSeries.merge(
+            rescaled, access_weights=(base_shares
+                                      if any(base_shares) else None),
+            label=self.label)
+        snapshot = self._merged_snapshot(states, dead_order, rounds,
+                                         total_writes)
+        report_out = self._array_report(states, census, dead_order, stop,
+                                        rounds, total_writes)
+        self.result = ArrayResult(
+            label=self.label, config=cfg, series=merged, snapshot=snapshot,
+            report=report_out,
+            shards=[dict(s.result) for s in states if s.result is not None],
+            rounds=rounds)
+        return self.result
+
+    def _global_series(self, shard: int, state: _ShardState,
+                       record: dict) -> LifetimeSeries:
+        """One shard's series rescaled onto the global write clock."""
+        local = LifetimeSeries.from_payload(record["series"],
+                                            label=f"s{shard}")
+        points = [SamplePoint(
+            int(round(self._global_at_local(state, p.writes))),
+            p.survival, p.usable, p.avg_access) for p in local.points]
+        if state.dead and state.death_global is not None:
+            last = points[-1] if points else SamplePoint(0, 1.0, 1.0)
+            # A dead shard serves nothing: its capacity is gone from the
+            # array at the death point onward.
+            points.append(SamplePoint(int(round(state.death_global)),
+                                      last.survival, 0.0,
+                                      last.avg_access))
+        return LifetimeSeries(label=f"s{shard}", points=points)
+
+    def _merged_snapshot(self, states: List[_ShardState],
+                         dead_order: List[int], rounds: int,
+                         total_writes: int,
+                         ) -> Dict[str, Dict[str, object]]:
+        merged: Dict[str, Dict[str, object]] = {
+            "counters": {}, "gauges": {}, "histograms": {}}
+        for state in states:
+            assert state.result is not None
+            snapshot = state.result.get("snapshot")
+            if snapshot:
+                merged = merge_snapshots(merged, snapshot)
+        extra = {"counters": {"array.rounds": rounds,
+                              "array.shard-deaths": len(dead_order),
+                              "array.writes": total_writes},
+                 "gauges": {"array.shards-live":
+                            sum(1 for s in states if not s.dead)}}
+        return merge_snapshots(merged, extra)
+
+    def _array_report(self, states: List[_ShardState],
+                      census: List[ShardCensus], dead_order: List[int],
+                      stop: Optional[StopReason], rounds: int,
+                      total_writes: int) -> ArrayEndOfLifeReport:
+        cfg = self.config
+        shards = len(states)
+
+        def summed(name: str) -> int:
+            return sum(int(self._num(c.report.get(name, 0)))
+                       for c in census)
+
+        failed = sum(float(self._num(c.report.get("failed_fraction", 0.0)))
+                     for c in census) / shards
+        usable = sum(
+            0.0 if states[c.shard].dead
+            else float(self._num(c.report.get("usable_fraction", 0.0)))
+            for c in census) / shards
+        return ArrayEndOfLifeReport(
+            stop=stop, total_writes=total_writes,
+            failed_fraction=failed, usable_fraction=usable,
+            os_interruptions=summed("os_interruptions"),
+            victimized_writes=summed("victimized_writes"),
+            pages_acquired=summed("pages_acquired"),
+            spares_available=summed("spares_available"),
+            linked_blocks=summed("linked_blocks"),
+            pa_da_loops=summed("pa_da_loops"),
+            crashes_recovered=summed("crashes_recovered"),
+            policy=cfg.policy, interleave=cfg.interleave,
+            num_shards=shards, rounds=rounds,
+            dead_shards=tuple(dead_order), shards=tuple(census))
+
+    @staticmethod
+    def _num(value: object) -> float:
+        if isinstance(value, bool) or not isinstance(value, (int, float)):
+            raise ConfigurationError(
+                f"expected a number in a shard report, got {value!r}")
+        return value

@@ -1,0 +1,59 @@
+"""Array-level end-of-life reporting: per-shard census + aggregate.
+
+Extends the single-chip :class:`~repro.sim.stop.EndOfLifeReport` with the
+facts only an array has: the end-of-life policy in force, which shards
+died (and at which point of the *global* write clock), and a full
+per-shard census so a campaign can see exactly how the array degraded —
+which device went first, how much traffic it had absorbed, and what the
+survivors were left carrying.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..sim.stop import EndOfLifeReport
+
+
+@dataclass(frozen=True)
+class ShardCensus:
+    """One shard's contribution to the array's end-of-life picture."""
+
+    #: Shard index in the decoder's round-robin order.
+    shard: int
+    #: Fraction of global traffic decoded to this shard at boot.
+    share: float
+    #: Fraction it carried at the end (grows as it inherits dead shards').
+    final_share: float
+    #: Software writes this shard serviced over the whole array life.
+    local_writes: int
+    #: The shard engine's stop cause (``"max-writes"`` = outlived the array).
+    stop: str
+    #: Global write-clock estimate of this shard's death (None = survived).
+    died_at_global: Optional[int]
+    #: The shard's own :meth:`~repro.sim.stop.EndOfLifeReport.as_dict`.
+    report: Dict[str, object]
+
+
+@dataclass(frozen=True)
+class ArrayEndOfLifeReport(EndOfLifeReport):
+    """End-of-life report for a whole shard array.
+
+    The inherited aggregate fields are array-wide: ``total_writes`` sums
+    every shard's serviced writes, the fractions are capacity-weighted
+    means (a dead shard contributes zero usable space), and the counters
+    (OS interruptions, pages acquired, ...) are sums.  ``as_dict`` is
+    inherited — the census nests as plain data.
+    """
+
+    #: End-of-life policy in force (``"fail-stop"`` or ``"degraded"``).
+    policy: str = "degraded"
+    #: Decoder layout (``"block"`` or ``"page"``).
+    interleave: str = "block"
+    num_shards: int = 0
+    #: Re-decode rounds the array went through (1 = nobody died).
+    rounds: int = 0
+    #: Shards that died, in death order on the global clock.
+    dead_shards: Tuple[int, ...] = ()
+    shards: Tuple[ShardCensus, ...] = ()

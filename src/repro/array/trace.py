@@ -1,0 +1,136 @@
+"""A write trace whose distribution changes at scheduled write counts.
+
+Degraded-mode operation re-decodes a dead shard's traffic onto the
+survivors, so a surviving shard's local write stream is *piecewise
+stationary*: one distribution up to the re-decode point, another after
+it.  :class:`SegmentedTrace` models exactly that — an ordered list of
+``(start_write, probabilities)`` segments over one virtual block space.
+
+Replay determinism is the load-bearing property: the array engine re-runs
+a surviving shard from write zero each round with more segments appended,
+and the shared prefix must reproduce **byte-identical** draws.  Two design
+points guarantee it:
+
+* every segment owns an independent generator derived from the trace seed
+  and the segment *index* (not its content), so appending segment ``k+1``
+  cannot perturb segment ``k``'s stream;
+* a ``batch_counts`` call that falls entirely inside one segment issues
+  exactly one multinomial draw from that segment's generator, so as long
+  as the caller keeps segment boundaries on epoch boundaries (the array
+  engine quantizes them), the draw sequence of a prefix is independent of
+  what comes later.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike, derive_rng
+from ..traces.base import WriteTrace
+
+
+class SegmentedTrace(WriteTrace):
+    """Piecewise-stationary trace: scheduled distribution switches."""
+
+    def __init__(self, segments: Sequence[Tuple[int, np.ndarray]],
+                 name: str = "segmented", seed: SeedLike = None) -> None:
+        if not segments:
+            raise ConfigurationError("SegmentedTrace needs >= 1 segment")
+        starts: List[int] = []
+        tables: List[np.ndarray] = []
+        width = -1
+        for start, raw in segments:
+            probabilities = np.asarray(raw, dtype=np.float64)
+            if width < 0:
+                width = len(probabilities)
+            elif len(probabilities) != width:
+                raise ConfigurationError(
+                    "all segments must cover the same virtual space")
+            total = probabilities.sum()
+            if total <= 0 or (probabilities < 0).any():
+                raise ConfigurationError(
+                    "segment probabilities must be non-negative, sum > 0")
+            starts.append(int(start))
+            tables.append(probabilities / total)
+        if starts[0] != 0:
+            raise ConfigurationError("first segment must start at write 0")
+        if any(b <= a for a, b in zip(starts, starts[1:])):
+            raise ConfigurationError(
+                "segment starts must be strictly increasing")
+        super().__init__(width, name=name)
+        self._starts = starts
+        self._tables = tables
+        self._seed = seed
+        self._rngs = [derive_rng(seed, f"segtrace-{name}-{k}")
+                      for k in range(len(starts))]
+        #: Total writes drawn so far (selects the active segment).
+        self._position = 0
+
+    @property
+    def position(self) -> int:
+        """Writes drawn since construction or the last :meth:`reset`."""
+        return self._position
+
+    @property
+    def num_segments(self) -> int:
+        """Number of distribution segments."""
+        return len(self._starts)
+
+    def _segment_index(self, position: int) -> int:
+        return bisect.bisect_right(self._starts, position) - 1
+
+    # --------------------------------------------------------------- drawing
+
+    def next_write(self) -> int:
+        index = self._segment_index(self._position)
+        value = int(self._rngs[index].choice(self.virtual_blocks,
+                                             p=self._tables[index]))
+        self._position += 1
+        return value
+
+    def batch_counts(self, batch: int) -> np.ndarray:
+        """Per-block counts for the next *batch* writes, segment-aware.
+
+        A batch spanning a boundary is split there, each piece drawn from
+        its own segment's generator — correct at any alignment, and one
+        single full-batch draw in the aligned case the engine arranges.
+        """
+        counts = np.zeros(self.virtual_blocks, dtype=np.int64)
+        remaining = batch
+        while remaining > 0:
+            index = self._segment_index(self._position)
+            if index + 1 < len(self._starts):
+                room = self._starts[index + 1] - self._position
+            else:
+                room = remaining
+            take = min(remaining, room)
+            counts += self._rngs[index].multinomial(take,
+                                                    self._tables[index])
+            self._position += take
+            remaining -= take
+        return counts
+
+    def reset(self) -> None:
+        self._rngs = [derive_rng(self._seed, f"segtrace-{self.name}-{k}")
+                      for k in range(len(self._starts))]
+        self._position = 0
+
+    # --------------------------------------------------------------- folding
+
+    def restricted_to(self, virtual_blocks: int) -> "SegmentedTrace":
+        """Fold every segment onto a smaller virtual space (tail wraps)."""
+        if virtual_blocks >= self.virtual_blocks:
+            return self
+        folded: List[Tuple[int, np.ndarray]] = []
+        for start, table in zip(self._starts, self._tables):
+            squeezed = np.zeros(virtual_blocks, dtype=np.float64)
+            for base in range(0, self.virtual_blocks, virtual_blocks):
+                chunk = table[base:base + virtual_blocks]
+                squeezed[:len(chunk)] += chunk
+            folded.append((start, squeezed))
+        return SegmentedTrace(folded, name=f"{self.name}-folded",
+                              seed=self._seed)

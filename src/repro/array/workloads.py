@@ -1,0 +1,55 @@
+"""Global workloads sized to an array's decoded address space.
+
+The single-chip trace generators stay usable as-is — these helpers only
+size them to a decoder's global space, plus the one workload that needs
+the decoder itself: the *single-shard hot-spot attack*, which aims all of
+its hot traffic at the addresses one shard owns.  Under block
+interleaving a uniform hot set spreads across every device; an attacker
+who knows the layout can instead concentrate wear on one device and kill
+the array's weakest link — the scenario the ``degraded`` policy exists
+for.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import ConfigurationError
+from ..rng import SeedLike
+from ..traces import DistributionTrace, hotspot_distribution
+from .decoder import InterleavedDecoder
+
+
+def uniform_workload(decoder: InterleavedDecoder,
+                     seed: SeedLike = None) -> DistributionTrace:
+    """Uniform writes over the array's global space."""
+    size = decoder.global_blocks
+    return DistributionTrace(np.full(size, 1.0 / size), name="uniform",
+                             seed=seed)
+
+
+def hotspot_workload(decoder: InterleavedDecoder, cov: float = 3.0,
+                     seed: SeedLike = None) -> DistributionTrace:
+    """Clustered hot-set workload over the global space (target CoV)."""
+    return hotspot_distribution(decoder.global_blocks, cov, seed=seed)
+
+
+def shard_attack_workload(decoder: InterleavedDecoder, shard: int = 0,
+                          hot_share: float = 0.9,
+                          seed: SeedLike = None) -> DistributionTrace:
+    """Layout-aware attack: *hot_share* of the traffic hits one shard.
+
+    The attacker writes uniformly over the global addresses that decode
+    to shard *shard*, with a thin uniform background over the whole array
+    as camouflage — the array analogue of the single-chip hot-spot
+    attacks, and the fastest way to force a whole-shard death.
+    """
+    if not 0.0 < hot_share <= 1.0:
+        raise ConfigurationError("hot_share must be in (0, 1]")
+    size = decoder.global_blocks
+    probabilities = np.full(size, (1.0 - hot_share) / size)
+    owned = decoder.encode(shard,
+                           np.arange(decoder.shard_blocks, dtype=np.int64))
+    probabilities[owned] += hot_share / decoder.shard_blocks
+    return DistributionTrace(probabilities, name=f"attack-s{shard}",
+                             seed=seed)

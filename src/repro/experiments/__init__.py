@@ -15,7 +15,7 @@ pure Python.
 """
 
 from . import (attacks, common, parallel, report, table1, fig5, fig6, fig7,
-               fig8, table2)
+               fig8, fig_array, table2)
 
 EXPERIMENTS = {
     "table1": table1,
@@ -26,7 +26,9 @@ EXPERIMENTS = {
     "table2": table2,
     # Beyond the numbered figures: the paper's malicious-wear claim.
     "attacks": attacks,
+    # Beyond the paper: shard-array scaling on top of the single-chip stack.
+    "fig_array": fig_array,
 }
 
 __all__ = ["EXPERIMENTS", "attacks", "common", "parallel", "report",
-           "table1", "fig5", "fig6", "fig7", "fig8", "table2"]
+           "table1", "fig5", "fig6", "fig7", "fig8", "fig_array", "table2"]

@@ -11,7 +11,7 @@ touch the ``inject`` hooks — the FAULT-HOOK lint rule enforces that.
 
 from .hooks import ChipHooks, ControllerHooks, ScheduleDriver
 from .schedule import (ACTION_KINDS, CRASH_SITES, FaultAction, FaultSchedule,
-                       random_schedule)
+                       for_shard, random_schedule, shard_death_schedule)
 
 __all__ = [
     "ACTION_KINDS",
@@ -21,5 +21,7 @@ __all__ = [
     "FaultAction",
     "FaultSchedule",
     "ScheduleDriver",
+    "for_shard",
     "random_schedule",
+    "shard_death_schedule",
 ]

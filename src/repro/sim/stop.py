@@ -31,6 +31,8 @@ class StopCause(enum.Enum):
     MAX_WRITES = "max-writes"
     #: A finite resource ran out (spares, OS pages); graceful end of life.
     EXHAUSTED = "exhausted"
+    #: A shard device of an array died (array-level fail-stop).
+    SHARD_FAILED = "shard-failed"
 
 
 @dataclass(frozen=True)

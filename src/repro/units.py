@@ -8,7 +8,17 @@ used throughout the package.
 
 from __future__ import annotations
 
+from typing import TypeVar
+
+import numpy as np
+
 from .errors import ConfigurationError
+
+#: Block-address operand: a scalar block id or a vector of them.  The
+#: geometry helpers below are generic over both so vectorized decoders and
+#: scalar call sites share one implementation (and RAW-GEOM keeps every
+#: ``blocks_per_page`` operation inside this module).
+BlockLike = TypeVar("BlockLike", int, np.ndarray)
 
 KIB = 1024
 MIB = 1024 * KIB
@@ -79,6 +89,33 @@ def blocks_of_pages(pages: int, blocks_per_page: int) -> int:
 def round_up_to_pages(blocks: int, blocks_per_page: int) -> int:
     """Smallest page-aligned block count >= *blocks*."""
     return blocks_of_pages(ceil_div(blocks, blocks_per_page), blocks_per_page)
+
+
+def page_of_block(block: BlockLike, blocks_per_page: int) -> BlockLike:
+    """OS-page index containing *block* (scalar or vector).
+
+    This is the raw ``block // blocks_per_page`` form for 0-based address
+    spaces (decoders, interleavers).  Software-window PAs must instead go
+    through :meth:`repro.osmodel.allocator.PagePool.page_of_pa`, which
+    applies the pool's ``base_pa`` offset.
+    """
+    if blocks_per_page <= 0:
+        raise ConfigurationError("blocks_per_page must be positive")
+    return block // blocks_per_page
+
+
+def block_offset_in_page(block: BlockLike, blocks_per_page: int) -> BlockLike:
+    """Offset of *block* within its OS page (scalar or vector)."""
+    if blocks_per_page <= 0:
+        raise ConfigurationError("blocks_per_page must be positive")
+    return block % blocks_per_page
+
+
+def block_at(page: BlockLike, offset: BlockLike, blocks_per_page: int) -> BlockLike:
+    """Block address of *offset* inside OS page *page* (scalar or vector)."""
+    if blocks_per_page <= 0:
+        raise ConfigurationError("blocks_per_page must be positive")
+    return page * blocks_per_page + offset
 
 
 def parse_size(text: str) -> int:

@@ -194,6 +194,23 @@ class TestFaultHook:
             "FAULT-HOOK", bad,
             Path("src/repro/faultinject/hooks.py")) == []
 
+    def test_array_layer_is_not_exempt(self):
+        # The shard-array layer wires N engines; hook discipline applies
+        # to every one of them.
+        bad = "engine.inject = driver\n"
+        for path in ("src/repro/array/engine.py",
+                     "src/repro/array/shard.py"):
+            assert [f.rule for f in findings_for(
+                "FAULT-HOOK", bad, Path(path))] == ["FAULT-HOOK"]
+
+    def test_array_shard_wiring_stays_clean(self):
+        # The sanctioned per-shard pattern: project the schedule, then
+        # let the driver attach itself.
+        good = ("driver = ScheduleDriver(for_shard(schedule, shard))\n"
+                "driver.attach_fast(engine)\n")
+        assert findings_for("FAULT-HOOK", good,
+                            Path("src/repro/array/shard.py")) == []
+
 
 class TestTelemApi:
     @pytest.mark.parametrize("bad", [
@@ -229,3 +246,24 @@ class TestTelemApi:
         assert findings_for(
             "TELEM-API", bad,
             Path("src/repro/telemetry/__init__.py")) == []
+
+    def test_array_layer_is_not_exempt(self):
+        # Per-shard telemetry still goes through sessions and attach_*;
+        # neither the shard cell nor the merging engine may shortcut.
+        bad = "engine.telem = session\n"
+        for path in ("src/repro/array/engine.py",
+                     "src/repro/array/shard.py"):
+            assert [f.rule for f in findings_for(
+                "TELEM-API", bad, Path(path))] == ["TELEM-API"]
+        assert [f.rule for f in findings_for(
+            "TELEM-API", "registry = Registry()\n",
+            Path("src/repro/array/engine.py"))] == ["TELEM-API"]
+
+    def test_array_shard_wiring_stays_clean(self):
+        # The sanctioned per-shard pattern: own session, sanctioned
+        # attach, pure snapshot merging.
+        good = ("session = TelemetrySession()\n"
+                "attach_fast(session, engine)\n"
+                "merged = merge_snapshots(merged, snapshot)\n")
+        assert findings_for("TELEM-API", good,
+                            Path("src/repro/array/shard.py")) == []

@@ -17,6 +17,7 @@ EXAMPLES = sorted(path.name for path in EXAMPLES_DIR.glob("*.py"))
 
 def test_every_example_is_covered():
     assert EXAMPLES == [
+        "array_scaling.py",
         "attack_resilience.py",
         "freep_vs_reviver.py",
         "lifetime_study.py",

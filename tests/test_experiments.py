@@ -3,6 +3,7 @@ with shape assertions matching the paper's qualitative claims."""
 
 import pytest
 
+from repro.errors import ConfigurationError
 from repro.experiments import (
     EXPERIMENTS,
     attacks,
@@ -10,6 +11,7 @@ from repro.experiments import (
     fig6,
     fig7,
     fig8,
+    fig_array,
     table1,
     table2,
 )
@@ -216,6 +218,31 @@ class TestAttacks:
         assert "hammer-8" in data
 
 
+class TestFigArray:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig_array.run(scale="tiny", benchmarks=["attack"],
+                             shard_counts=[1, 2], seed=3)
+
+    def test_degraded_arrays_run_to_exhaustion(self, result):
+        table = fig_array.as_dict(result)["attack"]
+        for shards in (1, 2):
+            row = table[f"{shards}x"]
+            assert row["dead_shards"] == shards
+            assert row["stop"].startswith("exhausted")
+            assert row["total_writes"] > 0
+            assert row["writes_to_50pct_usable"] is not None
+
+    def test_render(self, result):
+        text = fig_array.render(result)
+        assert "Array scaling" in text
+        assert "2x shards" in text
+
+    def test_workload_filter_rejects_unknown_names(self):
+        with pytest.raises(ConfigurationError):
+            fig_array.run(scale="tiny", benchmarks=["no-such-workload"])
+
+
 class TestCLI:
     def test_parser_choices(self):
         parser = build_parser()
@@ -229,4 +256,5 @@ class TestCLI:
 
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {"table1", "fig5", "fig6", "fig7",
-                                    "fig8", "table2", "attacks"}
+                                    "fig8", "table2", "attacks",
+                                    "fig_array"}

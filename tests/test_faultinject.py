@@ -15,7 +15,8 @@ from repro.errors import (CapacityExhaustedError, ConfigurationError,
                           ProtocolError, SimulatedCrash, UncorrectableError)
 from repro.faultinject import (ACTION_KINDS, CRASH_SITES, ChipHooks,
                                ControllerHooks, FaultAction, FaultSchedule,
-                               ScheduleDriver, random_schedule)
+                               ScheduleDriver, for_shard, random_schedule,
+                               shard_death_schedule)
 from repro.faultinject.campaign import (RATIO_BAND, _schedule_horizon,
                                         reproduce, run_cell, summarize)
 from repro.mc.controller import READ_RETRY_LIMIT
@@ -121,6 +122,52 @@ class TestScheduleDSL:
         assert set(samples) == set(ACTION_KINDS)
         for kind, extra in samples.items():
             FaultAction(kind, at_write=1, **extra)
+
+
+class TestShardSchedules:
+    """Per-shard targeting for array campaigns."""
+
+    def test_shard_tag_round_trips(self):
+        schedule = schedule_of(
+            FaultAction("fail-block", at_write=5, das=(1, 2), shard=2),
+            FaultAction("crash", at_write=3, site=CRASH_SITES[0]))
+        parsed = FaultSchedule.from_json(schedule.to_json())
+        assert parsed.sorted_actions() == schedule.sorted_actions()
+        shards = [a.shard for a in parsed.sorted_actions()]
+        assert shards == [None, 2]
+
+    def test_untagged_actions_serialize_without_the_field(self):
+        action = FaultAction("read-error", at_write=1, da=4)
+        assert "shard" not in action.as_dict()
+        tagged = FaultAction("read-error", at_write=1, da=4, shard=0)
+        assert tagged.as_dict()["shard"] == 0
+
+    def test_negative_shard_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            FaultAction("read-error", at_write=1, da=4, shard=-1)
+
+    def test_for_shard_projects_and_strips_the_tag(self):
+        schedule = schedule_of(
+            FaultAction("fail-block", at_write=5, das=(1,), shard=0),
+            FaultAction("read-error", at_write=2, da=3, shard=1),
+            FaultAction("crash", at_write=9, site=CRASH_SITES[0]))
+        mine = for_shard(schedule, 1)
+        assert [(a.kind, a.shard) for a in mine.sorted_actions()] == [
+            ("read-error", None), ("crash", None)]
+        assert mine.name.endswith("/s1")
+        # Broadcast actions reach every shard; tagged ones only theirs.
+        assert [a.kind for a in for_shard(schedule, 2).sorted_actions()] \
+            == ["crash"]
+
+    def test_shard_death_schedule_fails_every_block(self):
+        schedule = shard_death_schedule(3, at_write=4_000, num_blocks=64)
+        (action,) = schedule.sorted_actions()
+        assert action.kind == "fail-block"
+        assert action.shard == 3
+        assert action.das == tuple(range(64))
+        projected = for_shard(schedule, 3)
+        assert len(projected.sorted_actions()) == 1
+        assert for_shard(schedule, 0).sorted_actions() == ()
 
 
 # ------------------------------------------------------------------- hooks

@@ -194,6 +194,36 @@ def test_snapshot_merge_is_associative_and_commutative(a, b, c):
         merge_snapshots(a, merge_snapshots(b, c))
 
 
+class TestMergeSnapshotsEdges:
+    """Edge shapes the array layer feeds the merge (shards with no
+    telemetry, disjoint metric sets, inconsistent kinds)."""
+
+    def test_empty_snapshot_is_the_identity(self):
+        snapshot = {"counters": {"x": 3}, "gauges": {"g": 5},
+                    "histograms": {}}
+        assert merge_snapshots(snapshot, {}) == {
+            "counters": {"x": 3}, "gauges": {"g": 5}, "histograms": {}}
+        assert merge_snapshots({}, snapshot) == \
+            merge_snapshots(snapshot, {})
+        assert merge_snapshots({}, {}) == {
+            "counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_disjoint_labels_union(self):
+        a = {"counters": {"s0.writes": 10}, "gauges": {"s0.peak": 2}}
+        b = {"counters": {"s1.writes": 7}, "gauges": {"s1.peak": 4}}
+        merged = merge_snapshots(a, b)
+        assert merged["counters"] == {"s0.writes": 10, "s1.writes": 7}
+        assert merged["gauges"] == {"s0.peak": 2, "s1.peak": 4}
+
+    def test_kind_mismatch_raises(self):
+        # The same name as a counter in one shard and a gauge in another
+        # means the instrumentation disagrees — never merge silently.
+        a = {"counters": {"shared": 3}}
+        b = {"gauges": {"shared": 1}}
+        with pytest.raises(ConfigurationError, match="different type"):
+            merge_snapshots(a, b)
+
+
 _FIELD_VALUES = st.one_of(st.none(), st.booleans(),
                           st.integers(min_value=-2**31, max_value=2**31),
                           st.text(max_size=20))
