@@ -61,6 +61,9 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--dead-fraction", type=float, default=0.3)
     parser.add_argument("--seed", type=int, default=7)
     parser.add_argument("--jobs", type=int, default=1)
+    parser.add_argument("--batch", type=int, default=1,
+                        help="shards per struct-of-arrays group (default 1: "
+                             "per-shard engines)")
     parser.add_argument("--no-telemetry", action="store_true")
     parser.add_argument("--kill-shard", type=int, default=None,
                         help="inject a whole-shard death on this shard")
@@ -129,7 +132,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                                         args.shard_blocks)
     engine = ArrayEngine(config, _workload(args, config),
                          label=f"array-{args.workload}", jobs=args.jobs,
-                         schedule=schedule)
+                         batch=args.batch, schedule=schedule)
     result = engine.run()
     if not args.quiet:
         print(render(result))

@@ -169,12 +169,13 @@ class ArrayEngine:
     """Round-based lifetime simulation of a shard array."""
 
     def __init__(self, config: ArrayConfig, trace: DistributionTrace,
-                 label: str = "array", jobs: int = 1,
+                 label: str = "array", jobs: int = 1, batch: int = 1,
                  schedule: Optional[FaultSchedule] = None,
                  progress: Optional[ProgressFn] = None) -> None:
         self.config = config
         self.label = label
         self.jobs = jobs
+        self.batch = batch
         self.schedule = schedule
         self.progress = progress
         self.decoder = InterleavedDecoder(
@@ -282,7 +283,8 @@ class ArrayEngine:
             cells.append(Cell(key=key, fn=_CELL_FN,
                               kwargs=self._cell_kwargs(i, states[i],
                                                        seeds[i])))
-        runner = GridRunner(jobs=self.jobs, progress=self.progress)
+        runner = GridRunner(jobs=self.jobs, progress=self.progress,
+                            batch=self.batch)
         values = runner.run(cells)
         for i in pending:
             states[i].result = values[f"{self.label}/r{round_no}/s{i}"]

@@ -1,0 +1,98 @@
+"""Shared-memory result transport for pooled grid cells.
+
+Large cell payloads (lifetime series, merged telemetry snapshots, array
+shard reports) round-trip through the process pool as pickled objects by
+default — the parent pays a deserialize-and-copy per cell on top of the
+pipe transfer.  This module moves the payload bytes through
+:mod:`multiprocessing.shared_memory` instead: the worker serializes the
+cell value to canonical JSON inside a shared segment and ships only the
+``(name, size)`` handle over the pipe; the parent maps the segment, parses
+in place, and unlinks it.
+
+JSON is the transport encoding on purpose: grid cell values are required
+to be JSON-round-trippable already (the resume file stores them as JSON),
+so the shared-memory path cannot change a value the pickle path would
+have preserved.
+
+Small payloads are not worth a segment (two extra syscalls plus a 4 KiB
+page each); anything under :data:`SHM_MIN_BYTES` — and anything that
+fails to encode or allocate — falls back to the plain pickled path.
+
+CPython 3.8-3.12 registers every attached segment with the
+``resource_tracker`` even when another process owns its lifetime
+(bpo-39959); without the explicit unregister calls below, both the worker
+and the parent tracker would try to destroy the segment and warn at
+shutdown.
+"""
+
+from __future__ import annotations
+
+import json
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Tuple
+
+#: Payloads smaller than this ride the regular pickle path.
+SHM_MIN_BYTES = 4096
+
+#: Wire tags for the two transport forms.
+RAW = "raw"
+SHM = "shm"
+
+
+def _untrack(segment: shared_memory.SharedMemory) -> None:
+    """Detach *segment* from this process's resource tracker.
+
+    The other side of the pipe owns (and unlinks) the segment; keeping it
+    registered here would double-destroy it at interpreter exit.
+    """
+    name = getattr(segment, "_name", segment.name)
+    try:
+        resource_tracker.unregister(name, "shared_memory")
+    except Exception:  # repro: allow(EXC-SWALLOW): best-effort tracker bookkeeping — worst case is a spurious cleanup warning at exit, never data loss
+        pass
+
+
+def pack_result(value: Any) -> Tuple[str, Any]:
+    """Encode a cell value for the pipe; worker side.
+
+    Returns ``(RAW, value)`` to pickle the value as-is, or
+    ``(SHM, [name, nbytes])`` when the JSON bytes were parked in a shared
+    segment the parent must consume with :func:`unpack_result`.
+    """
+    try:
+        data = json.dumps(value).encode("utf-8")
+    except (TypeError, ValueError):
+        return (RAW, value)
+    if len(data) < SHM_MIN_BYTES:
+        return (RAW, value)
+    try:
+        segment = shared_memory.SharedMemory(create=True, size=len(data))
+    except OSError:
+        return (RAW, value)
+    try:
+        segment.buf[:len(data)] = data
+        name = segment.name
+    finally:
+        segment.close()
+        _untrack(segment)
+    return (SHM, [name, len(data)])
+
+
+def unpack_result(packed: Tuple[str, Any]) -> Any:
+    """Decode a :func:`pack_result` payload; parent side.
+
+    Shared segments are unlinked here — each handle is single-use.
+    """
+    tag, body = packed
+    if tag == RAW:
+        return body
+    name, nbytes = body
+    segment = shared_memory.SharedMemory(name=name)
+    try:
+        data = bytes(segment.buf[:nbytes])
+    finally:
+        segment.close()
+        # Attaching registered the segment with this process's tracker;
+        # unlink() performs the matching unregister itself.
+        segment.unlink()
+    return json.loads(data.decode("utf-8"))

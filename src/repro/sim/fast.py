@@ -197,33 +197,60 @@ class FastEngine:
 
     def run(self) -> LifetimeSummary:
         """Simulate epochs until a stop condition; return the summary."""
-        cfg = self.config
-        budget = cfg.max_writes if cfg.max_writes is not None else float("inf")
-        self._sample()
+        self._begin_run()
         while True:
-            if self.inject is not None:
-                self.inject.poll(self.total_writes)
-            if self.chip.failed_fraction() >= cfg.dead_fraction:
-                self.stop = StopReason(StopCause.DEAD_FRACTION)
-                break
-            if (cfg.stop_on_capacity
-                    and self._usable_fraction() <= 1.0 - cfg.dead_fraction):
-                # The chip is just as unavailable when the lost capacity
-                # comes from retired pages as from dead blocks.
-                self.stop = StopReason(StopCause.CAPACITY_LOST)
-                break
-            if self.total_writes >= budget:
-                self.stop = StopReason(StopCause.MAX_WRITES)
+            stop = self._next_stop()
+            if stop is not None:
+                self.stop = stop
                 break
             try:
-                self._epoch(int(min(cfg.batch_writes,
-                                    budget - self.total_writes)))
+                self._epoch(self._epoch_batch())
             except CapacityExhaustedError as exc:
                 self.stop = StopReason(StopCause.EXHAUSTED, str(exc))
                 # The partial epoch changed state since the last sample.
                 self._sample()
                 break
             self._sample()
+        return self._finish_summary()
+
+    def _begin_run(self) -> None:
+        """Record the zero-write sample that anchors the series."""
+        self._sample()
+
+    def _budget(self) -> float:
+        """Software-write budget (``inf`` when no cap is configured)."""
+        cfg = self.config
+        return (float(cfg.max_writes) if cfg.max_writes is not None
+                else float("inf"))
+
+    def _next_stop(self) -> Optional[StopReason]:
+        """One run-loop tick: poll injection, evaluate stop conditions.
+
+        Shared verbatim with the batched lockstep kernel
+        (:mod:`repro.sim.batched`) so both paths stop at exactly the same
+        write counts, in the same check order.
+        """
+        cfg = self.config
+        if self.inject is not None:
+            self.inject.poll(self.total_writes)
+        if self.chip.failed_fraction() >= cfg.dead_fraction:
+            return StopReason(StopCause.DEAD_FRACTION)
+        if (cfg.stop_on_capacity
+                and self._usable_fraction() <= 1.0 - cfg.dead_fraction):
+            # The chip is just as unavailable when the lost capacity
+            # comes from retired pages as from dead blocks.
+            return StopReason(StopCause.CAPACITY_LOST)
+        if self.total_writes >= self._budget():
+            return StopReason(StopCause.MAX_WRITES)
+        return None
+
+    def _epoch_batch(self) -> int:
+        """Software writes the next epoch should carry (budget-clipped)."""
+        return int(min(self.config.batch_writes,
+                       self._budget() - self.total_writes))
+
+    def _finish_summary(self) -> LifetimeSummary:
+        """The run's summary (valid once a stop reason is recorded)."""
         return LifetimeSummary.from_series(
             self.series, os_reports=self.reporter.report_count)
 
@@ -256,6 +283,22 @@ class FastEngine:
         telem.count("fast.epochs")
         telem.count("fast.writes", batch)
 
+    def _note_phase(self, name: str, seconds: float) -> None:
+        """Credit a phase duration to telemetry when a session is attached.
+
+        The batched kernel runs this engine's phases outside the
+        per-engine :meth:`_epoch` context managers, so it mirrors the same
+        counters through this hook (phase seconds + call count).
+        """
+        if self.telem is not None:
+            self.telem.add_phase_seconds(name, seconds)
+
+    def _note_epoch(self, batch: int) -> None:
+        """Credit one completed epoch's counters to telemetry."""
+        if self.telem is not None:
+            self.telem.count("fast.epochs")
+            self.telem.count("fast.writes", batch)
+
     def _apply_software(self, counts: np.ndarray) -> None:
         """Apply the epoch's software writes with overshoot re-issue.
 
@@ -269,85 +312,123 @@ class FastEngine:
         """
         virtual = np.nonzero(counts)[0]
         remaining = counts[virtual].astype(np.int64)
-        first_round = True
         limit = self.chip.num_blocks + self.ospool.num_pages + 4
-        for _ in range(limit):
+        self._software_rounds(virtual, remaining, first_round=True,
+                              rounds=limit)
+
+    def _software_rounds(self, virtual: np.ndarray, remaining: np.ndarray,
+                         first_round: bool, rounds: int,
+                         prepared: Optional[tuple] = None) -> None:
+        """Run up to ``rounds`` re-issue rounds of the software phase.
+
+        ``prepared`` lets a caller hand in an already-translated first
+        round (the batched kernel prepares the round before deciding which
+        path handles it) without repeating the translation's side effects.
+        """
+        for _ in range(rounds):
             if virtual.size == 0:
                 return
-            # The software pool can shrink mid-epoch (LLS chunk
-            # reservation); traffic to folded-away virtual blocks is lost
-            # in the reorganization.
-            in_range = virtual < self.ospool.virtual_blocks
-            if not in_range.all():
-                self.dropped_writes += int(remaining[~in_range].sum())
-                virtual = virtual[in_range]
-                remaining = remaining[in_range]
-                if virtual.size == 0:
+            if prepared is None:
+                prepared = self._prepare_round(virtual, remaining,
+                                               first_round)
+                if prepared is None:
                     return
-            pas = self.ospool.translate_many(virtual)
-            if first_round:
-                charge = getattr(self.wl, "charge_writes", None)
-                if charge is not None:
-                    # Per-region schedules (RegionedStartGap) are charged
-                    # from the epoch's first-round traffic histogram.
-                    charge(pas, remaining)
-                first_round = False
-            das = self.wl.map_many(pas)
-            finals = self._redirect[das]
+            virtual, remaining, pas, das, finals = prepared
+            prepared = None
+            first_round = False
             exposed = self.chip.failed[finals]
             live_idx = ~exposed
             newly = self.chip.write_many(finals[live_idx],
                                          remaining[live_idx])
             self._redirected_traffic += int(remaining[live_idx][
                 finals[live_idx] != das[live_idx]].sum())
-            # Traffic past a dying block's threshold re-routes next round.
-            over_blocks, over_counts = self._collect_overshoot(newly)
-            self._process_failures(newly)
-            retry = np.zeros(len(virtual), dtype=bool)
-            for block, over in zip(over_blocks.tolist(),
-                                   over_counts.tolist()):
-                # A healthy block can be several streams' final target at
-                # once (its own identity plus redirect chains ending on
-                # it); every such stream contributed wear, so the clawed-
-                # back overshoot is split among them in proportion to what
-                # each sent this round.
-                idxs = np.nonzero(finals == block)[0]
-                sent = remaining[idxs]
-                total = int(sent.sum())
-                share = sent * over // total
-                deficit = over - int(share.sum())
-                if deficit:
-                    order = np.argsort(-sent, kind="stable")
-                    share[order[:deficit]] += 1
-                remaining[idxs] = share
-                retry[idxs] = share > 0
-            if exposed.any():
-                if self.config.recovery == "reviver":
-                    # Theorem 1: software traffic never reaches a dead
-                    # block under WL-Reviver.
-                    raise ProtocolError(
-                        f"software traffic reached dead blocks "
-                        f"{finals[exposed][:5].tolist()} under the reviver")
-                # Known-dead blocks with no redirection (baseline or
-                # exhausted FREE-p): the OS retires those pages; the
-                # affected virtual pages retry at their new frames.  Dead
-                # blocks behind non-retirable PAs (the partial tail page)
-                # just eat the writes.
-                for i in np.nonzero(exposed)[0]:
-                    pa = int(pas[i])
-                    if not self.ospool.pa_in_software_space(pa):
-                        continue
-                    if self.ospool.is_usable(self.ospool.page_of_pa(pa)):
-                        self.reporter.report(pa, self.total_writes)
-                    retry[i] = True
-            if not retry.any():
+            virtual, remaining = self._settle_round(
+                virtual, remaining, pas, das, finals, exposed, newly)
+            if virtual.size == 0:
                 return
-            virtual = virtual[retry]
-            remaining = remaining[retry]
             self._rebuild_redirect()
         # Leftover traffic has nowhere live to go (late-life thrashing);
         # account it rather than looping forever.
         self.dropped_writes += int(remaining.sum())
+
+    def _prepare_round(self, virtual: np.ndarray, remaining: np.ndarray,
+                       first_round: bool) -> Optional[tuple]:
+        """Translate one round's surviving traffic through OS + WL maps.
+
+        Returns ``(virtual, remaining, pas, das, finals)`` for the round,
+        or ``None`` when every stream folded out of the software space.
+        Charges per-region schedules on the epoch's first round.
+        """
+        # The software pool can shrink mid-epoch (LLS chunk reservation);
+        # traffic to folded-away virtual blocks is lost in the
+        # reorganization.
+        in_range = virtual < self.ospool.virtual_blocks
+        if not in_range.all():
+            self.dropped_writes += int(remaining[~in_range].sum())
+            virtual = virtual[in_range]
+            remaining = remaining[in_range]
+            if virtual.size == 0:
+                return None
+        pas = self.ospool.translate_many(virtual)
+        if first_round:
+            charge = getattr(self.wl, "charge_writes", None)
+            if charge is not None:
+                # Per-region schedules (RegionedStartGap) are charged
+                # from the epoch's first-round traffic histogram.
+                charge(pas, remaining)
+        das = self.wl.map_many(pas)
+        finals = self._redirect[das]
+        return virtual, remaining, pas, das, finals
+
+    def _settle_round(self, virtual: np.ndarray, remaining: np.ndarray,
+                      pas: np.ndarray, das: np.ndarray, finals: np.ndarray,
+                      exposed: np.ndarray, newly: np.ndarray) -> tuple:
+        """Process one round's failures; return the retry streams.
+
+        Traffic past a dying block's threshold re-routes next round.
+        Returns the filtered ``(virtual, remaining)`` pair (both empty when
+        nothing needs re-issue).
+        """
+        over_blocks, over_counts = self._collect_overshoot(newly)
+        self._process_failures(newly)
+        retry = np.zeros(len(virtual), dtype=bool)
+        for block, over in zip(over_blocks.tolist(),
+                               over_counts.tolist()):
+            # A healthy block can be several streams' final target at
+            # once (its own identity plus redirect chains ending on
+            # it); every such stream contributed wear, so the clawed-
+            # back overshoot is split among them in proportion to what
+            # each sent this round.
+            idxs = np.nonzero(finals == block)[0]
+            sent = remaining[idxs]
+            total = int(sent.sum())
+            share = sent * over // total
+            deficit = over - int(share.sum())
+            if deficit:
+                order = np.argsort(-sent, kind="stable")
+                share[order[:deficit]] += 1
+            remaining[idxs] = share
+            retry[idxs] = share > 0
+        if exposed.any():
+            if self.config.recovery == "reviver":
+                # Theorem 1: software traffic never reaches a dead
+                # block under WL-Reviver.
+                raise ProtocolError(
+                    f"software traffic reached dead blocks "
+                    f"{finals[exposed][:5].tolist()} under the reviver")
+            # Known-dead blocks with no redirection (baseline or
+            # exhausted FREE-p): the OS retires those pages; the
+            # affected virtual pages retry at their new frames.  Dead
+            # blocks behind non-retirable PAs (the partial tail page)
+            # just eat the writes.
+            for i in np.nonzero(exposed)[0]:
+                pa = int(pas[i])
+                if not self.ospool.pa_in_software_space(pa):
+                    continue
+                if self.ospool.is_usable(self.ospool.page_of_pa(pa)):
+                    self.reporter.report(pa, self.total_writes)
+                retry[i] = True
+        return virtual[retry], remaining[retry]
 
     def _collect_overshoot(self, newly: np.ndarray) -> tuple:
         """Wear past the threshold of each newly dead block, clawed back.

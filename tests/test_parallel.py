@@ -1,6 +1,12 @@
 """Tests for the parallel experiment-execution layer."""
 
 import json
+import os
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -13,6 +19,8 @@ from repro.experiments.parallel import (
     cell_seed,
     jsonify,
 )
+from repro.experiments.shm import (RAW, SHM, SHM_MIN_BYTES, pack_result,
+                                   unpack_result)
 from repro.sim.metrics import LifetimeSeries, SamplePoint
 
 
@@ -135,3 +143,140 @@ class TestExperimentDeterminism:
         again = fig5.as_dict(fig5.run(scale="tiny", benchmarks=["ocean"],
                                       seed=1))
         assert one == again
+
+
+def _nap(seconds, payload):
+    """Short sleeping cell for timing-accounting tests."""
+    time.sleep(seconds)
+    return {"payload": payload}
+
+
+def _big(n, seed):
+    """Cell with a payload large enough to ride shared memory."""
+    return {"vals": list(range(seed, seed + n))}
+
+
+class TestPoolQueueAccounting:
+    """Queue seconds measure *per-future* wait, not grid-wide elapsed."""
+
+    def test_single_worker_backlog_is_not_queue_time(self):
+        cells = [Cell(key=f"nap/{i}", fn=f"{__name__}:_nap",
+                      kwargs={"seconds": 0.05, "payload": i})
+                 for i in range(8)]
+        runner = GridRunner(jobs=1)
+        results = {}
+        runner._run_pool([], cells, results, {}, len(cells))
+        assert len(results) == 8
+        wall = sum(o.seconds for o in runner.outcomes)
+        queue = sum(o.queue_seconds for o in runner.outcomes)
+        assert wall > 0.3
+        # Pre-fix, one grid-wide submit stamp meant cell k reported ~k
+        # cells' worth of runtime as queue wait: on this single-worker
+        # pool the queue total came out ~3.5x the wall total.  With
+        # per-future stamps the backlog never counts as queue time.
+        assert queue < 0.5 * wall
+
+
+class TestResumeThrottle:
+    """Resume saves are batched; every save is atomic and durable."""
+
+    def test_serial_run_saves_once_per_batch(self, tmp_path, monkeypatch):
+        resume = tmp_path / "cells.json"
+        replaced = []
+        real_replace = os.replace
+
+        def counting_replace(src, dst, **kwargs):
+            if Path(dst) == resume:
+                replaced.append(dst)
+            return real_replace(src, dst, **kwargs)
+
+        monkeypatch.setattr(os, "replace", counting_replace)
+        GridRunner(jobs=1, resume=resume).run(
+            [Cell(key=f"unit/{i}", fn=f"{__name__}:_square",
+                  kwargs=dict(value=i, seed=i)) for i in range(20)])
+        # 20 cells at _SAVE_EVERY=8: saves after cells 8 and 16, plus the
+        # final-cell flush — never one write per cell.
+        assert len(replaced) == 3
+        payload = json.loads(resume.read_text())
+        assert len(payload["cells"]) == 20
+
+    def test_partial_batch_is_flushed(self, tmp_path):
+        resume = tmp_path / "cells.json"
+        GridRunner(jobs=1, resume=resume).run(_grid(3))
+        assert len(json.loads(resume.read_text())["cells"]) == 3
+
+    def test_killed_run_leaves_absent_or_valid_resume(self, tmp_path):
+        resume = tmp_path / "cells.json"
+        root = Path(__file__).resolve().parents[1]
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(root / "src"), str(root)]
+            + env.get("PYTHONPATH", "").split(os.pathsep))
+        script = textwrap.dedent(f"""
+            from repro.experiments.parallel import Cell, GridRunner
+            GridRunner._SAVE_EVERY = 1  # maximize the save churn
+            cells = [Cell(key=f"nap/{{i}}", fn="tests.test_parallel:_nap",
+                          kwargs=dict(seconds=0.004, payload=i))
+                     for i in range(500)]
+            GridRunner(jobs=1, resume={str(resume)!r}).run(cells)
+        """)
+        for delay in (0.25, 0.4, 0.6):
+            if resume.exists():
+                resume.unlink()
+            proc = subprocess.Popen([sys.executable, "-c", script],
+                                    env=env, cwd=root)
+            time.sleep(delay)
+            proc.kill()
+            proc.wait()
+            if resume.exists():
+                # Atomic replace: whatever survives the kill must parse.
+                payload = json.loads(resume.read_text())
+                assert isinstance(payload.get("cells"), dict)
+
+
+class TestSharedMemoryTransport:
+    def test_small_payloads_stay_raw(self):
+        packed = pack_result({"a": 1})
+        assert packed[0] == RAW
+        assert unpack_result(packed) == {"a": 1}
+
+    def test_large_payloads_round_trip_shared_memory(self):
+        value = {"series": list(range(SHM_MIN_BYTES))}
+        packed = pack_result(value)
+        assert packed[0] == SHM
+        assert unpack_result(packed) == value
+
+    def test_unencodable_payloads_fall_back_to_raw(self):
+        value = {"obj": object()}
+        tag, body = pack_result(value)
+        assert tag == RAW and body is value
+
+    def test_pool_matches_serial_with_big_payloads(self):
+        cells = [Cell(key=f"big/{i}", fn=f"{__name__}:_big",
+                      kwargs={"n": 2000, "seed": i}) for i in range(3)]
+        serial = GridRunner(jobs=1).run(cells)
+        pooled = GridRunner(jobs=2).run(cells)
+        assert serial == pooled
+
+
+class TestBatchPlanning:
+    def test_plan_groups_only_batchable_cells(self):
+        campaign = [Cell(key=f"camp/{i}",
+                         fn="repro.sim.campaign:campaign_cell",
+                         kwargs={"seed": i}) for i in range(5)]
+        other = _grid(3)
+        groups, singles = GridRunner(batch=2)._plan(campaign + other)
+        assert [[c.key for c in g] for g in groups] == [
+            ["camp/0", "camp/1"], ["camp/2", "camp/3"]]
+        # The leftover chunk of one and the unregistered cells stay single.
+        assert {c.key for c in singles} == {
+            "camp/4", "unit/0", "unit/1", "unit/2"}
+
+    def test_batch_one_keeps_per_cell_path(self):
+        pending = _grid(4)
+        groups, singles = GridRunner(batch=1)._plan(pending)
+        assert groups == [] and singles == pending
+
+    def test_rejects_bad_batch(self):
+        with pytest.raises(ConfigurationError):
+            GridRunner(batch=0)
