@@ -10,8 +10,6 @@ Not part of the paper's evaluation — these quantify our own design space:
 * psi sensitivity (migration overhead vs leveling quality).
 """
 
-import random
-
 import pytest
 
 from repro.config import CacheConfig, StartGapConfig
@@ -20,6 +18,7 @@ from repro.experiments.common import build_engine, scaled_parameters
 from repro.experiments.table2 import measure_access_time
 from repro.mc import RemapCache
 from repro.pcm import AddressGeometry, EnduranceModel, PCMChip
+from repro.rng import make_rng
 from repro.sim import FastConfig, FastEngine
 from repro.traces import hotspot_distribution
 from repro.wl import StartGap, make_randomizer
@@ -133,12 +132,12 @@ def test_throughput_exact_engine(benchmark):
     controller = ReviverController(
         chip, wl, ospool, reviver_config=ReviverConfig(),
         copy_on_retire=True)
-    rng = random.Random(1)
+    rng = make_rng(1)
     space = controller.ospool.virtual_blocks
 
     def write_block():
         for _ in range(2_000):
-            controller.service_write(rng.randrange(space), tag=1)
+            controller.service_write(int(rng.integers(space)), tag=1)
 
     benchmark.pedantic(write_block, rounds=3, iterations=1)
 

@@ -20,6 +20,7 @@ from repro.pcm import AddressGeometry, EnduranceModel, PCMChip
 from repro.sim.fast import FastConfig, FastEngine
 from repro.telemetry import TelemetrySession, attach_fast
 from repro.traces import hotspot_distribution
+from repro.units import blocks_of_pages
 from repro.wl import StartGap
 
 NUM_BLOCKS = 4096
@@ -34,7 +35,8 @@ def _build_engine():
     chip = PCMChip(geometry, ECP(endurance, 1))
     wl = StartGap(NUM_BLOCKS)
     config = FastConfig(batch_writes=50_000, max_writes=MAX_WRITES, seed=3)
-    trace = hotspot_distribution(config.blocks_per_page * 48, 4.0, seed=5)
+    trace = hotspot_distribution(blocks_of_pages(48, config.blocks_per_page),
+                                 4.0, seed=5)
     return FastEngine(chip, wl, trace, config=config)
 
 

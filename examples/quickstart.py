@@ -10,14 +10,13 @@ chains switched, and the (tiny) access-time cost.
 Run:  python examples/quickstart.py
 """
 
-import random
-
 from repro.config import CacheConfig, ReviverConfig
 from repro.ecc import ECP
 from repro.errors import CapacityExhaustedError
 from repro.mc import RemapCache, ReviverController
 from repro.osmodel import PagePool
 from repro.pcm import AddressGeometry, EnduranceModel, PCMChip
+from repro.rng import make_rng
 from repro.wl import StartGap
 
 
@@ -41,13 +40,13 @@ def main() -> None:
         copy_on_retire=True)
 
     # --- workload: random writes with verifiable content tags.
-    rng = random.Random(1)
+    rng = make_rng(1)
     stored = {}
     print(f"chip: {chip.num_blocks} blocks, "
           f"{ospool.num_pages} OS pages, Start-Gap psi={wear_leveler.psi}")
     try:
         while chip.failed_fraction() < 0.34:
-            vblock = rng.randrange(ospool.virtual_blocks)
+            vblock = int(rng.integers(ospool.virtual_blocks))
             tag = controller.writes
             controller.service_write(vblock, tag=tag)
             stored[vblock] = tag

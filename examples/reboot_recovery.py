@@ -17,8 +17,6 @@ metadata cost of a few bytes and one PCM write per retirement per replica.
 Run:  python examples/reboot_recovery.py
 """
 
-import random
-
 from repro.config import ReviverConfig
 from repro.errors import CapacityExhaustedError
 from repro.mc import ReviverController
@@ -26,6 +24,7 @@ from repro.osmodel import PagePool
 from repro.pcm import AddressGeometry, EnduranceModel, PCMChip
 from repro.reviver import RetiredPageBitmap
 from repro.ecc import ECP
+from repro.rng import make_rng
 from repro.wl import StartGap
 
 
@@ -42,10 +41,10 @@ def main() -> None:
                                reviver_config=ReviverConfig(),
                                copy_on_retire=True)
 
-    rng = random.Random(11)
+    rng = make_rng(11)
     try:
         while system.reviver.ledger.pages_acquired < 4:
-            system.service_write(rng.randrange(ospool.virtual_blocks),
+            system.service_write(int(rng.integers(ospool.virtual_blocks)),
                                  tag=system.writes)
     except CapacityExhaustedError:
         pass

@@ -15,26 +15,57 @@ package documents:
 * **EXC-SWALLOW** — bare or over-broad ``except`` clauses that can eat
   :class:`~repro.errors.ProtocolError`.
 * **FLOAT-EQ** — float equality comparisons in metrics and experiment code.
+* **FAULT-HOOK** — fault-injection hook plumbing that bypasses
+  :mod:`repro.faultinject`'s registration contract.
+* **TELEM-API** — telemetry counter/span misuse outside the
+  :mod:`repro.telemetry` facade.
+* **SOA-ALIAS** — chained advanced-index stores and copy-semantics rebinds
+  on values that must alias the batched kernel's struct-of-arrays rows
+  (whole-program: ``register_batchable`` build/finish pairs are exempt).
+* **SHM-LIFE** — ``SharedMemory`` handles that miss ``close()`` on some
+  path or ``unlink()`` twice, tracked through try/finally.
+* **DET-WALLCLOCK** — wall-clock and unseeded-random reads
+  (``time.time``, ``datetime.now``, ``random.*``) outside the
+  telemetry-exempt modules.
+* **HOOK-NONE** — ``inject``/``telem`` hook parameters that do not default
+  to ``None`` or are called without an ``is not None`` guard.
 
-Run it with ``python -m repro.analysis src`` (exit code 0 = clean, 1 =
-findings, 2 = usage error).  A finding is silenced by a same-line
-``# repro: allow(RULE-ID): justification`` comment, or file-wide with
-``# repro: allow-file(RULE-ID): justification``.
+Run it with ``python -m repro.analysis src tools benchmarks examples``
+(exit code 0 = clean, 1 = findings, 2 = usage error).  A finding is
+silenced by a same-line ``# repro: allow(RULE-ID): justification``
+comment, or file-wide with ``# repro: allow-file(RULE-ID): justification``.
+Re-runs are incremental with ``--cache FILE``; known debt is held in a
+``--baseline`` file; ``--format sarif`` emits SARIF 2.1.0 for CI.
 """
 
 from __future__ import annotations
 
-from .core import Finding, Rule, SourceFile
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .cache import RULESET_VERSION, AnalysisCache, CacheStats
+from .core import Finding, ProjectRule, Rule, SourceFile
+from .project import ProjectModel, build_project
 from .registry import all_rules, get_rule, rule_ids
 from .runner import lint_paths, lint_source
+from .sarif import to_sarif, validate_sarif
 
 __all__ = [
+    "AnalysisCache",
+    "CacheStats",
     "Finding",
+    "ProjectModel",
+    "ProjectRule",
+    "RULESET_VERSION",
     "Rule",
     "SourceFile",
     "all_rules",
+    "apply_baseline",
+    "build_project",
     "get_rule",
-    "rule_ids",
     "lint_paths",
     "lint_source",
+    "load_baseline",
+    "rule_ids",
+    "to_sarif",
+    "validate_sarif",
+    "write_baseline",
 ]

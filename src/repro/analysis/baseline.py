@@ -1,0 +1,80 @@
+"""Finding baselines: adopt a new rule without a flag-day burn-down.
+
+A new whole-program rule lands against a tree with pre-existing true
+positives.  Forcing every call site to be fixed (or suppressed inline) in
+the same PR couples unrelated modules to the rule rollout; leaving the
+gate off hides regressions.  A baseline file is the middle path: the
+known findings are recorded once, the gate stays on, and only *new*
+findings fail the build.  Burning entries down to zero is the end state
+— the gate prints how many baseline entries remain so the debt is
+visible, and an entry that no longer matches anything is reported as
+stale so fixed findings leave the file.
+
+Entries are keyed on ``(rule, path, message)`` with a count, not on line
+numbers: unrelated edits above a finding must not un-baseline it.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Sequence, Tuple
+
+from ..errors import ConfigurationError
+from .core import Finding
+
+Key = Tuple[str, str, str]
+
+
+def _key(finding: Finding) -> Key:
+    return (finding.rule, finding.path, finding.message)
+
+
+def write_baseline(path: Path, findings: Sequence[Finding]) -> None:
+    """Record the given findings as the accepted debt."""
+    counts: Dict[Key, int] = {}
+    for finding in findings:
+        key = _key(finding)
+        counts[key] = counts.get(key, 0) + 1
+    entries = [
+        {"rule": rule, "path": file, "message": message, "count": count}
+        for (rule, file, message), count in sorted(counts.items())]
+    payload = {"entries": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def load_baseline(path: Path) -> Dict[Key, int]:
+    """Parse a baseline file into fingerprint counts."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+        entries = payload["entries"]
+        counts: Dict[Key, int] = {}
+        for entry in entries:
+            key = (str(entry["rule"]), str(entry["path"]),
+                   str(entry["message"]))
+            counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+        return counts
+    except (OSError, ValueError, KeyError, TypeError) as exc:
+        raise ConfigurationError(f"unreadable baseline {path}: {exc}") \
+            from exc
+
+
+def apply_baseline(findings: Sequence[Finding],
+                   baseline: Dict[Key, int]
+                   ) -> Tuple[List[Finding], List[Key]]:
+    """Split findings into (new, stale-baseline-keys).
+
+    Each baseline entry absorbs up to ``count`` matching findings; the
+    remainder are new.  Keys with leftover capacity are stale — the debt
+    they recorded has been paid and they should be deleted.
+    """
+    remaining = dict(baseline)
+    new: List[Finding] = []
+    for finding in findings:
+        key = _key(finding)
+        if remaining.get(key, 0) > 0:
+            remaining[key] -= 1
+        else:
+            new.append(finding)
+    stale = sorted(key for key, count in remaining.items() if count > 0)
+    return new, stale

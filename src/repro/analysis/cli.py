@@ -1,6 +1,18 @@
 """Command line interface: ``python -m repro.analysis [paths...]``.
 
-Exit codes: 0 = clean, 1 = findings reported, 2 = usage error.
+Exit codes: 0 = clean (or fully baselined), 1 = findings reported,
+2 = usage error.
+
+Beyond the original text/JSON report the CLI grew the adoption and CI
+machinery of the whole-program analyzer:
+
+* ``--format sarif`` emits a SARIF 2.1.0 log for PR annotation;
+* ``--baseline FILE`` filters known findings (and reports stale entries);
+  ``--write-baseline FILE`` records the current findings as the accepted
+  debt and exits clean;
+* ``--cache FILE`` makes re-runs incremental — an unchanged tree with an
+  unchanged ruleset replays findings with zero re-parses; ``--stats``
+  prints the hit/miss/parse counters that prove it.
 """
 
 from __future__ import annotations
@@ -12,9 +24,12 @@ from pathlib import Path
 from typing import List, Optional, TextIO
 
 from ..errors import ConfigurationError
+from .baseline import apply_baseline, load_baseline, write_baseline
+from .cache import AnalysisCache
 from .core import Finding
 from .registry import all_rules, get_rule
 from .runner import lint_paths
+from .sarif import to_sarif
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -24,10 +39,22 @@ def build_parser() -> argparse.ArgumentParser:
         description="Codebase-specific lint for the WL-Reviver reproduction.")
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
-    parser.add_argument("--format", choices=("text", "json"), default="text",
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
+                        default="text",
                         help="output format (default: text)")
     parser.add_argument("--select", default=None, metavar="RULE[,RULE...]",
                         help="run only the named rules")
+    parser.add_argument("--baseline", default=None, metavar="FILE",
+                        help="filter findings recorded in this baseline "
+                             "file; stale entries are reported")
+    parser.add_argument("--write-baseline", default=None, metavar="FILE",
+                        help="record current findings as the baseline and "
+                             "exit 0")
+    parser.add_argument("--cache", default=None, metavar="FILE",
+                        help="incremental-analysis cache file (content-"
+                             "hashed, ruleset-versioned)")
+    parser.add_argument("--stats", action="store_true",
+                        help="print cache hit/miss/parse counters")
     parser.add_argument("--list-rules", action="store_true",
                         help="describe every registered rule and exit")
     return parser
@@ -71,9 +98,40 @@ def main(argv: Optional[List[str]] = None,
     if missing:
         print(f"error: no such path: {', '.join(map(str, missing))}", file=out)
         return 2
-    findings = lint_paths(paths, rules)
+    cache = AnalysisCache(Path(args.cache)) if args.cache else None
+    findings = lint_paths(paths, rules, cache=cache)
+    if args.write_baseline:
+        write_baseline(Path(args.write_baseline), findings)
+        print(f"wrote {len(findings)} finding(s) to baseline "
+              f"{args.write_baseline}", file=out)
+        return 0
+    stale_count = 0
+    if args.baseline:
+        try:
+            baseline = load_baseline(Path(args.baseline))
+        except ConfigurationError as exc:
+            print(f"error: {exc}", file=out)
+            return 2
+        before = len(findings)
+        findings, stale = apply_baseline(findings, baseline)
+        stale_count = len(stale)
+        for rule, path, message in stale:
+            print(f"stale baseline entry: {path}: {rule} {message}",
+                  file=out)
+        suppressed = before - len(findings)
+        if suppressed:
+            print(f"{suppressed} baselined finding(s) "
+                  f"suppressed; burn them down", file=out)
     if args.format == "json":
         _render_json(findings, out)
+    elif args.format == "sarif":
+        json.dump(to_sarif(findings, rules if rules is not None
+                           else all_rules()), out, indent=2)
+        out.write("\n")
     else:
         _render_text(findings, out)
-    return 1 if findings else 0
+    if args.stats and cache is not None:
+        print(f"cache: {cache.stats.hits} hit(s), "
+              f"{cache.stats.misses} miss(es), "
+              f"{cache.stats.parses} parse(s)", file=out)
+    return 1 if findings or stale_count else 0

@@ -1,0 +1,512 @@
+"""Flow-sensitive forward dataflow over one function body.
+
+The whole-program rules all ask path questions a syntactic walk cannot
+answer: *is this hook call dominated by an ``is not None`` guard*, *does
+every path from this ``SharedMemory`` reach ``close()``*, *does this name
+still alias a batch row here*.  :class:`FunctionFlow` is the shared
+engine: an abstract interpreter over a function's statement list that
+
+* threads an environment (``name -> abstract value``) through straight-line
+  code, joining at ``if``/loop/``try`` merge points;
+* runs loops to a bounded fixpoint (two passes — the lattices here have
+  no infinite ascending chains through a loop body);
+* models ``try``/``except``/``finally`` the way the SHM lifecycle needs:
+  the ``finally`` suite runs against the fall-through state *and* against
+  every early exit and exceptional escape recorded inside the protected
+  region, where the exceptional state of a body is the join of the
+  environments *entering* each statement (a statement that raises never
+  completed its own binding);
+* refines environments on ``x is None`` / ``x is not None`` tests, through
+  ``not`` and the conjuncts of ``and`` chains and ``assert`` statements.
+
+Exceptions are modeled at statement granularity via explicit control flow
+(``raise``, ``try`` escape edges); an arbitrary expression is not assumed
+to raise.  Rules subclass and override the ``on_*`` transfer hooks.
+
+The module also hosts the numpy **view-ness** abstract domain the
+SOA-ALIAS rule interprets with: values are classified VIEW (may alias
+memory the caller scans — ndarray parameters, basic subscripts of
+attributes, ``ravel``/``reshape``/slices of views), FRESH (owns its
+buffer — ``.copy()``, arithmetic, advanced indexing), MASK (a boolean
+index built from a comparison), or UNKNOWN.
+"""
+
+from __future__ import annotations
+
+import ast
+import enum
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+Env = Dict[str, object]
+
+#: Loop bodies are re-walked at most this many times; the domains used by
+#: the rules stabilize after one re-walk (values only widen toward UNKNOWN).
+_LOOP_PASSES = 2
+
+
+def expr_key(expr: ast.expr) -> Optional[str]:
+    """Dotted key of a Name/Attribute chain (``self.telem``), else None."""
+    parts: List[str] = []
+    node = expr
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+class FunctionFlow:
+    """Forward abstract interpretation engine; subclass per analysis."""
+
+    def __init__(self) -> None:
+        #: Environments entering each statement of every active ``try``
+        #: region — the exceptional-escape states of those regions.
+        self._try_collectors: List[List[Env]] = []
+
+    # -------------------------------------------------------- lattice hooks
+
+    def join_values(self, a: object, b: object) -> object:
+        """Join two abstract values bound to the same name."""
+        return a if a == b else None
+
+    def join_missing(self, value: object) -> Optional[object]:
+        """Join a value with "unbound": return None to drop the fact."""
+        return None
+
+    def join_env(self, a: Env, b: Env) -> Env:
+        out: Env = {}
+        for key in set(a) | set(b):
+            if key in a and key in b:
+                joined = self.join_values(a[key], b[key])
+                if joined is not None:
+                    out[key] = joined
+            else:
+                kept = self.join_missing(a.get(key, b.get(key)))
+                if kept is not None:
+                    out[key] = kept
+        return out
+
+    def _join_all(self, envs: Sequence[Env]) -> Optional[Env]:
+        live = list(envs)
+        if not live:
+            return None
+        out = dict(live[0])
+        for env in live[1:]:
+            out = self.join_env(out, env)
+        return out
+
+    # ------------------------------------------------------- transfer hooks
+
+    def on_expr(self, expr: ast.expr, env: Env, stmt: ast.stmt) -> None:
+        """Called once per evaluated expression (pre-assignment)."""
+
+    def on_assign(self, target: ast.expr, value: Optional[ast.expr],
+                  env: Env, stmt: ast.stmt) -> None:
+        """Transfer one binding; default kills tracked facts for the name."""
+        key = expr_key(target)
+        if key is not None:
+            env.pop(key, None)
+
+    def on_delete(self, target: ast.expr, env: Env, stmt: ast.stmt) -> None:
+        key = expr_key(target)
+        if key is not None:
+            env.pop(key, None)
+
+    def on_none_test(self, key: str, is_none: bool, env: Env,
+                     test: ast.expr) -> None:
+        """Refine *env* under a known-outcome ``key is [not] None`` test."""
+
+    def on_exit(self, env: Env, stmt: Optional[ast.stmt], kind: str) -> None:
+        """A path leaves the function (kind: return/raise/fallthrough)."""
+
+    # ---------------------------------------------------------- entry point
+
+    def run(self, node: ast.AST, initial: Optional[Env] = None) -> None:
+        """Interpret one FunctionDef/AsyncFunctionDef body."""
+        body = getattr(node, "body", [])
+        env: Env = dict(initial) if initial else {}
+        out = self._walk_body(list(body), env, loop_exits=None)
+        if out is not None:
+            self.on_exit(out, None, "fallthrough")
+
+    # --------------------------------------------------------- statement walk
+
+    def _walk_body(self, stmts: List[ast.stmt], env: Env,
+                   loop_exits: Optional[Tuple[List[Env], List[Env]]]
+                   ) -> Optional[Env]:
+        """Walk a suite; returns the fall-through env or None (unreachable)."""
+        current: Optional[Env] = env
+        for stmt in stmts:
+            if current is None:
+                break
+            for collector in self._try_collectors:
+                collector.append(dict(current))
+            current = self._walk_stmt(stmt, current, loop_exits)
+        return current
+
+    def _walk_stmt(self, stmt: ast.stmt, env: Env,
+                   loop_exits: Optional[Tuple[List[Env], List[Env]]]
+                   ) -> Optional[Env]:
+        if isinstance(stmt, ast.Assign):
+            self.on_expr(stmt.value, env, stmt)
+            for target in stmt.targets:
+                self._assign_target(target, stmt.value, env, stmt)
+            return env
+        if isinstance(stmt, ast.AnnAssign):
+            if stmt.value is not None:
+                self.on_expr(stmt.value, env, stmt)
+            self._assign_target(stmt.target, stmt.value, env, stmt)
+            return env
+        if isinstance(stmt, ast.AugAssign):
+            self.on_expr(stmt.value, env, stmt)
+            self.on_expr(stmt.target, env, stmt)
+            # ``x += e`` is an in-place update, not a rebinding: tracked
+            # facts about the target survive.
+            return env
+        if isinstance(stmt, ast.Expr):
+            self.on_expr(stmt.value, env, stmt)
+            return env
+        if isinstance(stmt, ast.Return):
+            if stmt.value is not None:
+                self.on_expr(stmt.value, env, stmt)
+            self.on_exit(env, stmt, "return")
+            return None
+        if isinstance(stmt, ast.Raise):
+            if stmt.exc is not None:
+                self.on_expr(stmt.exc, env, stmt)
+            if not self._try_collectors:
+                self.on_exit(env, stmt, "raise")
+            return None
+        if isinstance(stmt, ast.If):
+            return self._walk_if(stmt, env, loop_exits)
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._walk_loop(stmt, env)
+        if isinstance(stmt, ast.Try):
+            return self._walk_try(stmt, env, loop_exits)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            for item in stmt.items:
+                self.on_expr(item.context_expr, env, stmt)
+                if item.optional_vars is not None:
+                    self._assign_target(item.optional_vars,
+                                        item.context_expr, env, stmt)
+            return self._walk_body(stmt.body, env, loop_exits)
+        if isinstance(stmt, ast.Assert):
+            self.on_expr(stmt.test, env, stmt)
+            self._refine(stmt.test, env, positive=True)
+            return env
+        if isinstance(stmt, ast.Delete):
+            for target in stmt.targets:
+                self.on_delete(target, env, stmt)
+            return env
+        if isinstance(stmt, ast.Break):
+            if loop_exits is not None:
+                loop_exits[0].append(dict(env))
+            return None
+        if isinstance(stmt, ast.Continue):
+            if loop_exits is not None:
+                loop_exits[1].append(dict(env))
+            return None
+        if isinstance(stmt, ast.Match):
+            self.on_expr(stmt.subject, env, stmt)
+            falls = []
+            for case in stmt.cases:
+                out = self._walk_body(case.body, dict(env), loop_exits)
+                if out is not None:
+                    falls.append(out)
+            falls.append(env)  # no case may match
+            joined = self._join_all(falls)
+            return joined
+        # Nested defs/classes, imports, global/nonlocal, pass: no effect on
+        # this function's frame (nested bodies are analyzed on their own).
+        return env
+
+    def _assign_target(self, target: ast.expr, value: Optional[ast.expr],
+                       env: Env, stmt: ast.stmt) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                inner = element.value if isinstance(element, ast.Starred) \
+                    else element
+                self._assign_target(inner, None, env, stmt)
+            return
+        self.on_assign(target, value, env, stmt)
+
+    # ------------------------------------------------------------ branching
+
+    def _walk_if(self, stmt: ast.If, env: Env,
+                 loop_exits: Optional[Tuple[List[Env], List[Env]]]
+                 ) -> Optional[Env]:
+        self.on_expr(stmt.test, env, stmt)
+        true_env = dict(env)
+        false_env = dict(env)
+        self._refine(stmt.test, true_env, positive=True)
+        self._refine(stmt.test, false_env, positive=False)
+        outs = []
+        out = self._walk_body(stmt.body, true_env, loop_exits)
+        if out is not None:
+            outs.append(out)
+        out = self._walk_body(stmt.orelse, false_env, loop_exits)
+        if out is not None:
+            outs.append(out)
+        return self._join_all(outs)
+
+    def _refine(self, test: ast.expr, env: Env, positive: bool) -> None:
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            self._refine(test.operand, env, not positive)
+            return
+        if isinstance(test, ast.BoolOp):
+            # Only the branch where the whole chain's outcome pins every
+            # operand's outcome can refine: a taken ``and`` means every
+            # conjunct was true; a fallen-through ``or`` means all false.
+            if (isinstance(test.op, ast.And) and positive) or \
+                    (isinstance(test.op, ast.Or) and not positive):
+                for operand in test.values:
+                    self._refine(operand, env, positive)
+            return
+        if isinstance(test, ast.Compare) and len(test.ops) == 1 \
+                and isinstance(test.comparators[0], ast.Constant) \
+                and test.comparators[0].value is None \
+                and isinstance(test.ops[0], (ast.Is, ast.IsNot)):
+            key = expr_key(test.left)
+            if key is not None:
+                is_none = isinstance(test.ops[0], ast.Is) == positive
+                self.on_none_test(key, is_none, env, test)
+
+    # ----------------------------------------------------------------- loops
+
+    def _walk_loop(self, stmt: Union[ast.While, ast.For, ast.AsyncFor],
+                   env: Env) -> Optional[Env]:
+        test = stmt.test if isinstance(stmt, ast.While) else None
+        if test is not None:
+            self.on_expr(test, env, stmt)
+        iterable = stmt.iter if isinstance(stmt, (ast.For, ast.AsyncFor)) \
+            else None
+        if iterable is not None:
+            self.on_expr(iterable, env, stmt)
+        breaks: List[Env] = []
+        current = dict(env)
+        for _ in range(_LOOP_PASSES):
+            body_env = dict(current)
+            if isinstance(stmt, (ast.For, ast.AsyncFor)):
+                self._assign_target(stmt.target, None, body_env, stmt)
+            continues: List[Env] = []
+            out = self._walk_body(list(stmt.body), body_env,
+                                  loop_exits=(breaks, continues))
+            candidates = [current] + continues + ([out] if out is not None
+                                                 else [])
+            merged = self._join_all(candidates)
+            assert merged is not None  # ``current`` is always a candidate
+            if merged == current:
+                break
+            current = merged
+        infinite = (test is not None and isinstance(test, ast.Constant)
+                    and bool(test.value))
+        after: List[Env] = [] if infinite else [current]
+        after.extend(breaks)
+        orelse = list(getattr(stmt, "orelse", []))
+        if orelse and not infinite:
+            out = self._walk_body(orelse, dict(current), loop_exits=None)
+            if out is None:
+                after = list(breaks)
+            # else: the orelse effects fold into ``current`` conservatively
+        return self._join_all(after)
+
+    # ------------------------------------------------------------------- try
+
+    def _walk_try(self, stmt: ast.Try, env: Env,
+                  loop_exits: Optional[Tuple[List[Env], List[Env]]]
+                  ) -> Optional[Env]:
+        # Capture every exit taken inside the protected region so the
+        # ``finally`` suite can be applied to it.
+        pending_exits: List[Tuple[Env, Optional[ast.stmt], str]] = []
+        real_on_exit = self.on_exit
+
+        def capture_exit(exit_env: Env, exit_stmt: Optional[ast.stmt],
+                         kind: str) -> None:
+            pending_exits.append((dict(exit_env), exit_stmt, kind))
+
+        collector: List[Env] = [dict(env)]
+        self._try_collectors.append(collector)
+        if stmt.finalbody:
+            self.on_exit = capture_exit  # type: ignore[method-assign]
+        try:
+            body_out = self._walk_body(stmt.body, dict(env), loop_exits)
+            escape = self._join_all(collector)
+        finally:
+            self._try_collectors.pop()
+        handler_outs: List[Env] = []
+        uncaught: Optional[Env] = escape
+        for handler in stmt.handlers:
+            handler_env = dict(escape) if escape is not None else {}
+            if handler.name:
+                env_copy = handler_env
+                env_copy.pop(handler.name, None)
+            out = self._walk_body(handler.body, handler_env, loop_exits)
+            if out is not None:
+                handler_outs.append(out)
+            if handler.type is None or (
+                    isinstance(handler.type, ast.Name)
+                    and handler.type.id in ("Exception", "BaseException")):
+                uncaught = None  # a catch-all handler stops propagation
+        if stmt.orelse and body_out is not None:
+            body_out = self._walk_body(stmt.orelse, body_out, loop_exits)
+        falls = [e for e in [body_out] + handler_outs if e is not None]
+        fall_through = self._join_all(falls)
+        if stmt.finalbody:
+            self.on_exit = real_on_exit  # type: ignore[method-assign]
+            # Early exits re-run through finally, then leave the function.
+            if pending_exits:
+                joined = self._join_all([e for e, _, _ in pending_exits])
+                assert joined is not None
+                fin = self._walk_body(list(stmt.finalbody), joined,
+                                      loop_exits=None)
+                if fin is not None:
+                    kinds = {kind for _, _, kind in pending_exits}
+                    last = pending_exits[-1][1]
+                    self.on_exit(fin, last,
+                                 "raise" if kinds == {"raise"} else "return")
+            # An uncaught exception also unwinds through finally.
+            if uncaught is not None:
+                fin = self._walk_body(list(stmt.finalbody), dict(uncaught),
+                                      loop_exits=None)
+                if fin is not None and not self._try_collectors:
+                    self.on_exit(fin, stmt, "raise")
+            if fall_through is None:
+                return None
+            return self._walk_body(list(stmt.finalbody), fall_through,
+                                   loop_exits)
+        if uncaught is not None and not self._try_collectors \
+                and stmt.handlers:
+            self.on_exit(uncaught, stmt, "raise")
+        return fall_through
+
+
+# ------------------------------------------------------- view-ness domain
+
+
+class Viewness(enum.Enum):
+    """Abstract aliasing class of a bound numpy value."""
+
+    VIEW = "view"        # may alias caller-visible / batch-row memory
+    FRESH = "fresh"      # owns its buffer; rebinding is harmless
+    MASK = "mask"        # boolean/index array built from a comparison
+    UNKNOWN = "unknown"
+
+
+#: ndarray method calls that *propagate* view-ness from their receiver.
+_VIEW_METHODS = frozenset({"ravel", "reshape", "view", "squeeze",
+                           "swapaxes", "transpose"})
+#: ndarray method calls that always return a fresh buffer.
+_FRESH_METHODS = frozenset({"copy", "astype", "tolist", "sum", "cumsum",
+                            "flatten", "nonzero", "argsort", "take"})
+
+#: Parameter annotations naming an ndarray (the tree is mypy-strict, so
+#: array parameters are reliably annotated).
+NDARRAY_ANNOTATIONS = frozenset({
+    "np.ndarray", "numpy.ndarray", "ndarray",
+    "Optional[np.ndarray]", "Optional[numpy.ndarray]",
+})
+
+
+def is_basic_index(index: ast.expr, env: Env) -> bool:
+    """Whether subscripting with *index* yields a numpy *view* (not a copy).
+
+    Basic indexing — integers, slices, tuples of those — returns views;
+    advanced indexing (arrays, masks, lists) copies.  Unknown names count
+    as basic: loop indices and scalar locals dominate that population, and
+    the rules built on this domain only act on definite facts.
+    """
+    if isinstance(index, ast.Slice):
+        return True
+    if isinstance(index, ast.Constant):
+        return not isinstance(index.value, (list, tuple))
+    if isinstance(index, ast.Tuple):
+        return all(is_basic_index(element, env) for element in index.elts)
+    if isinstance(index, ast.UnaryOp):
+        return isinstance(index.op, ast.USub) \
+            and is_basic_index(index.operand, env)
+    if isinstance(index, (ast.List, ast.Compare, ast.BoolOp)):
+        return False
+    if isinstance(index, ast.Name):
+        return env.get(index.id) not in (Viewness.MASK, Viewness.VIEW,
+                                         Viewness.FRESH)
+    if isinstance(index, ast.Call):
+        return False
+    if isinstance(index, (ast.Attribute, ast.BinOp)):
+        # ``x[self.gap]`` / ``x[i + 1]``: scalar arithmetic, assume basic.
+        return True
+    return False
+
+
+def viewness_of(value: ast.expr, env: Env) -> Viewness:
+    """Classify the aliasing behavior of evaluating *value* under *env*."""
+    if isinstance(value, ast.Name):
+        bound = env.get(value.id)
+        return bound if isinstance(bound, Viewness) else Viewness.UNKNOWN
+    if isinstance(value, ast.Subscript):
+        base = viewness_of(value.value, env)
+        if isinstance(value.value, ast.Attribute):
+            base = Viewness.VIEW  # ``self.wear[i]``: a row of owned state
+        if base in (Viewness.VIEW, Viewness.UNKNOWN):
+            if not is_basic_index(value.slice, env):
+                return Viewness.FRESH  # advanced indexing copies
+            return base
+        return base
+    if isinstance(value, ast.Attribute):
+        return Viewness.UNKNOWN
+    if isinstance(value, ast.Call):
+        func = value.func
+        if isinstance(func, ast.Attribute):
+            if func.attr in _VIEW_METHODS:
+                return viewness_of(func.value, env)
+            if func.attr in _FRESH_METHODS:
+                return Viewness.FRESH
+            if isinstance(func.value, ast.Name) \
+                    and func.value.id in ("np", "numpy"):
+                if func.attr in ("nonzero", "where", "flatnonzero"):
+                    return Viewness.MASK
+                return Viewness.FRESH  # np.zeros/np.add/... own their output
+        return Viewness.UNKNOWN
+    if isinstance(value, ast.Compare):
+        return Viewness.MASK
+    if isinstance(value, ast.BinOp):
+        return Viewness.FRESH  # arithmetic allocates a result array
+    if isinstance(value, ast.UnaryOp):
+        inner = viewness_of(value.operand, env)
+        if isinstance(value.op, (ast.Invert, ast.Not)) \
+                and inner is Viewness.MASK:
+            return Viewness.MASK
+        return Viewness.FRESH if inner is not Viewness.UNKNOWN \
+            else Viewness.UNKNOWN
+    if isinstance(value, (ast.List, ast.ListComp, ast.Dict, ast.Set)):
+        return Viewness.FRESH
+    return Viewness.UNKNOWN
+
+
+class ViewnessFlow(FunctionFlow):
+    """Reaching view-ness of every local; base for SOA-ALIAS."""
+
+    def __init__(self, ndarray_params: Sequence[str] = ()) -> None:
+        super().__init__()
+        self.ndarray_params = set(ndarray_params)
+
+    def initial_env(self) -> Env:
+        return {name: Viewness.VIEW for name in self.ndarray_params}
+
+    def join_values(self, a: object, b: object) -> object:
+        if a == b:
+            return a
+        values = {a, b}
+        if Viewness.VIEW in values:
+            return Viewness.VIEW  # may-alias wins: stay conservative
+        return Viewness.UNKNOWN
+
+    def on_assign(self, target: ast.expr, value: Optional[ast.expr],
+                  env: Env, stmt: ast.stmt) -> None:
+        if not isinstance(target, ast.Name):
+            return  # attribute/subscript stores do not rebind locals
+        if value is None:
+            env[target.id] = Viewness.UNKNOWN
+            return
+        env[target.id] = viewness_of(value, env)

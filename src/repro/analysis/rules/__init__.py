@@ -7,8 +7,9 @@ class it bans either shipped in a past PR or breaks a documented guarantee.
 
 from __future__ import annotations
 
-from . import (exc_swallow, fault_hook, float_eq, link_mut, raw_geom,
-               rng_det, telem_api)
+from . import (det_wallclock, exc_swallow, fault_hook, float_eq, hook_none,
+               link_mut, raw_geom, rng_det, shm_life, soa_alias, telem_api)
 
-__all__ = ["exc_swallow", "fault_hook", "float_eq", "link_mut", "raw_geom",
-           "rng_det", "telem_api"]
+__all__ = ["det_wallclock", "exc_swallow", "fault_hook", "float_eq",
+           "hook_none", "link_mut", "raw_geom", "rng_det", "shm_life",
+           "soa_alias", "telem_api"]

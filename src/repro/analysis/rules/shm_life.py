@@ -1,0 +1,249 @@
+"""SHM-LIFE: SharedMemory segments must close on every path, unlink once.
+
+The grid runner's result transport (:mod:`repro.experiments.shm`) parks
+cell payloads in ``multiprocessing.shared_memory`` segments: the worker
+creates and fills one, the parent attaches, reads and unlinks it.  The
+failure modes are silent and asymmetric — a path that skips ``close()``
+leaks the mapping (and trips the resource tracker's exit warning under
+bpo-39959), while a path that reaches ``unlink()`` twice raises — or, on
+the bug class this rule exists for, destroys a segment a *second* handle
+still expects to read.  Those are path properties, invisible to syntactic
+rules: the shipped transport closes in ``finally`` so the exceptional
+path cleans up too.
+
+Per local segment handle (``seg = SharedMemory(...)`` create or attach),
+the flow pass tracks OPEN -> CLOSED/UNLINKED and flags:
+
+* a function exit — return, raise, fall-through, an exceptional escape
+  unwound through ``finally`` — where the handle may still be OPEN;
+* a second ``unlink()`` reachable on the same path;
+* rebinding the only name holding an OPEN segment.
+
+A handle that escapes the function (returned, stored on an object,
+passed whole to another call) transfers ownership and leaves the
+analysis; inter-procedural lifetimes like pack/unpack are each checked on
+their own side of the pipe.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from ..core import Finding, Rule, SourceFile
+from ..dataflow import Env, FunctionFlow
+from ..registry import register
+
+#: Per-path states of one tracked segment handle.
+_OPEN = "open"
+_CLOSED = "closed"
+_UNLINKED = "unlinked"
+#: Ownership left this function; stop tracking.
+_ESCAPED = "escaped"
+
+States = FrozenSet[str]
+
+
+def _is_shm_constructor(call: ast.Call) -> bool:
+    """Whether *call* creates or attaches a SharedMemory segment."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        return func.id == "SharedMemory"
+    if isinstance(func, ast.Attribute):
+        return func.attr == "SharedMemory"
+    return False
+
+
+class _ShmFlow(FunctionFlow):
+    """Track segment handles through one function body."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        #: name -> constructor node (for anchoring leak findings).
+        self.origins: Dict[str, ast.Call] = {}
+        self.leaks: List[Tuple[ast.AST, str]] = []
+        self.double_unlinks: List[ast.AST] = []
+        self.drops: List[Tuple[ast.AST, str]] = []
+        self._seen: Set[Tuple[int, int, str]] = set()
+
+    # ------------------------------------------------------------- lattice
+
+    def join_values(self, a: object, b: object) -> object:
+        if isinstance(a, frozenset) and isinstance(b, frozenset):
+            return a | b
+        return a if a == b else None
+
+    def join_missing(self, value: object) -> Optional[object]:
+        # A handle bound on only one branch keeps its states; the other
+        # branch simply contributes no obligation.
+        return value if isinstance(value, frozenset) else None
+
+    # ------------------------------------------------------------ transfer
+
+    def _record(self, bucket: List, node: ast.AST, name: str,
+                kind: str) -> None:
+        anchor = (getattr(node, "lineno", 0),
+                  getattr(node, "col_offset", 0), kind)
+        if anchor not in self._seen:
+            self._seen.add(anchor)
+            bucket.append((node, name) if bucket is not self.double_unlinks
+                          else node)
+
+    def on_assign(self, target: ast.expr, value: Optional[ast.expr],
+                  env: Env, stmt: ast.stmt) -> None:
+        if not isinstance(target, ast.Name):
+            return
+        name = target.id
+        states = env.get(name)
+        if isinstance(states, frozenset) and _OPEN in states:
+            is_self = isinstance(value, ast.Call) \
+                and _is_shm_constructor(value)
+            self._record(self.drops, stmt, name,
+                         "drop" if not is_self else "redrop")
+        if isinstance(value, ast.Call) and _is_shm_constructor(value):
+            env[name] = frozenset({_OPEN})
+            self.origins[name] = value
+        else:
+            env.pop(name, None)
+
+    def on_expr(self, expr: ast.expr, env: Env, stmt: ast.stmt) -> None:
+        for node in ast.walk(expr):
+            if not isinstance(node, ast.Call):
+                continue
+            func = node.func
+            if isinstance(func, ast.Attribute) \
+                    and isinstance(func.value, ast.Name) \
+                    and func.value.id in env:
+                name = func.value.id
+                states = env[name]
+                if not isinstance(states, frozenset):
+                    continue
+                if func.attr == "close":
+                    env[name] = frozenset(
+                        {_UNLINKED if s == _UNLINKED else _CLOSED
+                         for s in states})
+                elif func.attr == "unlink":
+                    if _UNLINKED in states:
+                        self._record(self.double_unlinks, node, name,
+                                     "double")
+                    env[name] = frozenset(
+                        {_ESCAPED if s == _ESCAPED else _UNLINKED
+                         for s in states})
+                continue
+            # A bare handle passed whole to any call transfers ownership.
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                if isinstance(arg, ast.Name) and arg.id in env \
+                        and isinstance(env[arg.id], frozenset):
+                    env[arg.id] = frozenset({_ESCAPED})
+        # Returning/yielding the handle also transfers ownership.
+        if isinstance(expr, ast.Name) and expr.id in env \
+                and isinstance(env[expr.id], frozenset):
+            return
+        for node in ast.walk(expr):
+            if isinstance(node, (ast.Tuple, ast.List, ast.Dict)):
+                for leaf in ast.walk(node):
+                    if isinstance(leaf, ast.Name) and leaf.id in env \
+                            and isinstance(env[leaf.id], frozenset):
+                        env[leaf.id] = frozenset({_ESCAPED})
+
+    def on_exit(self, env: Env, stmt: Optional[ast.stmt],
+                kind: str) -> None:
+        for name, states in env.items():
+            if isinstance(states, frozenset) and _OPEN in states:
+                anchor: ast.AST = stmt if stmt is not None \
+                    else self.origins.get(name, ast.Pass())
+                self._record(self.leaks, anchor, name, f"leak-{name}")
+
+
+def _handle_names(expr: ast.expr) -> Set[str]:
+    """Names handed over *as handles*: bare, or inside plain containers.
+
+    ``return segment`` and ``return (tag, segment)`` transfer the handle;
+    ``return bytes(segment.buf[:n])`` returns a derived value and the
+    close obligation stays here — so this deliberately does not recurse
+    through calls, attributes or subscripts.
+    """
+    if isinstance(expr, ast.Name):
+        return {expr.id}
+    if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+        names: Set[str] = set()
+        for elt in expr.elts:
+            names |= _handle_names(elt)
+        return names
+    if isinstance(expr, ast.Dict):
+        names = set()
+        for value in expr.values:
+            if value is not None:
+                names |= _handle_names(value)
+        return names
+    if isinstance(expr, ast.Starred):
+        return _handle_names(expr.value)
+    return set()
+
+
+class _ExitOwnershipScan(ast.NodeVisitor):
+    """Pre-pass: names whose handles are returned/stored escape entirely.
+
+    ``return segment`` or ``self.segment = segment`` anywhere in the body
+    means this function is a constructor/holder, not the owner of the
+    close obligation — skip tracking that name for the whole function
+    rather than reason about partial ownership.
+    """
+
+    def __init__(self) -> None:
+        self.escaping: Set[str] = set()
+
+    def visit_Return(self, node: ast.Return) -> None:
+        if node.value is not None:
+            self.escaping |= _handle_names(node.value)
+        self.generic_visit(node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            if isinstance(target, (ast.Attribute, ast.Subscript)):
+                self.escaping |= _handle_names(node.value)
+        self.generic_visit(node)
+
+
+@register
+class ShmLifecycleRule(Rule):
+    """SharedMemory handles: close on all paths, never unlink twice."""
+
+    id = "SHM-LIFE"
+    summary = ("SharedMemory handle that can exit without close() or "
+               "reach unlink() twice")
+    rationale = ("a segment that misses close() leaks the mapping and "
+                 "trips the resource tracker at exit (bpo-39959); a "
+                 "double unlink destroys a segment the other side of the "
+                 "pipe still expects to read")
+
+    def check(self, src: SourceFile) -> List[Finding]:
+        findings: List[Finding] = []
+        for node in ast.walk(src.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            scan = _ExitOwnershipScan()
+            for stmt in node.body:
+                scan.visit(stmt)
+            flow = _ShmFlow()
+            flow.run(node)
+            for anchor, name in flow.leaks:
+                if name in scan.escaping:
+                    continue
+                findings.append(self.finding(
+                    src, anchor,
+                    f"segment `{name}` may reach this exit without "
+                    f"close(); close in a finally block"))
+            for anchor in flow.double_unlinks:
+                findings.append(self.finding(
+                    src, anchor,
+                    "segment can be unlink()ed twice on this path; "
+                    "unlink exactly once per handle"))
+            for anchor, name in flow.drops:
+                if name in scan.escaping:
+                    continue
+                findings.append(self.finding(
+                    src, anchor,
+                    f"rebinding `{name}` drops the only handle to an "
+                    f"open segment; close it first"))
+        return findings

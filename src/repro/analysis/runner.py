@@ -5,44 +5,70 @@ run every applicable rule, then apply suppressions.  Two framework-level
 findings exist outside the rule registry: ``PARSE`` (a file that does not
 parse cannot be certified clean) and ``ALLOW-REASON`` (a suppression comment
 without a justification).
+
+``lint_paths`` is the whole-program entry point: it parses every file
+first, builds one :class:`~repro.analysis.project.ProjectModel` over the
+parse-clean subset, and hands that model to every
+:class:`~repro.analysis.core.ProjectRule` so cross-module facts inform
+per-file findings.  An optional :class:`~repro.analysis.cache.AnalysisCache`
+makes re-runs incremental: when no file changed and the ruleset is the
+same, findings replay from the cache with zero re-parses.
 """
 
 from __future__ import annotations
 
 from pathlib import Path
-from typing import Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
 
-from .core import Finding, Rule, SourceFile
+from .cache import AnalysisCache, ruleset_fingerprint, tree_digest
+from .core import Finding, ProjectRule, Rule, SourceFile
+from .project import ProjectModel, build_project
 from .registry import all_rules
 
 
 def iter_python_files(paths: Sequence[Path]) -> List[Path]:
-    """Expand files/directories into a sorted list of ``.py`` files."""
+    """Expand files/directories into a sorted list of unique ``.py`` files.
+
+    Overlapping inputs — a directory plus a file inside it, or the same
+    path twice — must not lint (and report) a file twice, so entries are
+    deduplicated by resolved path before the final sort.
+    """
     files: List[Path] = []
+    seen: Set[Path] = set()
     for path in paths:
-        if path.is_dir():
-            files.extend(sorted(path.rglob("*.py")))
-        else:
-            files.append(path)
+        candidates = sorted(path.rglob("*.py")) if path.is_dir() else [path]
+        for candidate in candidates:
+            resolved = candidate.resolve()
+            if resolved not in seen:
+                seen.add(resolved)
+                files.append(candidate)
+    files.sort(key=lambda p: p.as_posix())
     return files
 
 
-def lint_source(text: str, path: Path,
-                rules: Optional[Iterable[Rule]] = None) -> List[Finding]:
-    """Lint one module's source; returns findings sorted by position."""
-    selected = list(rules) if rules is not None else all_rules()
-    try:
-        src = SourceFile(path, text)
-    except SyntaxError as exc:
-        return [Finding(rule="PARSE", path=path.as_posix(),
-                        line=exc.lineno or 1, col=(exc.offset or 1) - 1,
-                        message=f"file does not parse: {exc.msg}")]
+def _parse_finding(path: Path, exc: SyntaxError) -> Finding:
+    # ``exc.offset`` is 1-based but tokenizer errors can report 0 (and the
+    # attribute may be None); clamp so the rendered 1-based column never
+    # underflows to ``:0``.
+    return Finding(rule="PARSE", path=path.as_posix(),
+                   line=exc.lineno or 1,
+                   col=max(0, (exc.offset or 1) - 1),
+                   message=f"file does not parse: {exc.msg}")
+
+
+def _check_source(src: SourceFile, rules: Sequence[Rule],
+                  project: Optional[ProjectModel]) -> List[Finding]:
+    """Run every applicable rule on one parsed file, apply suppressions."""
     findings: List[Finding] = []
-    for rule in selected:
+    for rule in rules:
         if not rule.applies_to(src):
             continue
+        if isinstance(rule, ProjectRule) and project is not None:
+            raw = rule.check_project(src, project)
+        else:
+            raw = rule.check(src)
         findings.extend(
-            finding for finding in rule.check(src)
+            finding for finding in raw
             if not src.suppressions.is_suppressed(rule.id, finding.line))
     for line, col in src.suppressions.missing_reason:
         findings.append(Finding(
@@ -53,12 +79,53 @@ def lint_source(text: str, path: Path,
     return findings
 
 
-def lint_paths(paths: Sequence[Path],
-               rules: Optional[Iterable[Rule]] = None) -> List[Finding]:
-    """Lint every python file under *paths*; findings sorted by location."""
+def lint_source(text: str, path: Path,
+                rules: Optional[Iterable[Rule]] = None,
+                project: Optional[ProjectModel] = None) -> List[Finding]:
+    """Lint one module's source; returns findings sorted by position."""
     selected = list(rules) if rules is not None else all_rules()
+    try:
+        src = SourceFile(path, text)
+    except SyntaxError as exc:
+        return [_parse_finding(path, exc)]
+    return _check_source(src, selected, project)
+
+
+def lint_paths(paths: Sequence[Path],
+               rules: Optional[Iterable[Rule]] = None,
+               cache: Optional[AnalysisCache] = None) -> List[Finding]:
+    """Lint every python file under *paths*; findings sorted by location.
+
+    All files are parsed before any rule runs so the project model sees
+    the whole program.  With *cache*, an unchanged tree (same contents,
+    same ruleset) replays stored findings without parsing anything; any
+    change re-lints the full tree, because whole-program rules may move
+    findings in files that did not themselves change.
+    """
+    selected = list(rules) if rules is not None else all_rules()
+    files = iter_python_files(paths)
+    contents: List[Tuple[Path, str]] = [
+        (path, path.read_text(encoding="utf-8")) for path in files]
+    if cache is not None:
+        ruleset = ruleset_fingerprint(selected)
+        digest = tree_digest(
+            (path.as_posix(), text) for path, text in contents)
+        cached = cache.lookup(ruleset, digest)
+        if cached is not None:
+            return cached
     findings: List[Finding] = []
-    for path in iter_python_files(paths):
-        findings.extend(lint_source(path.read_text(encoding="utf-8"),
-                                    path, selected))
+    sources: List[SourceFile] = []
+    for path, text in contents:
+        try:
+            sources.append(SourceFile(path, text))
+        except SyntaxError as exc:
+            findings.append(_parse_finding(path, exc))
+    if cache is not None:
+        cache.stats.parses += len(sources)
+    project = build_project(sources)
+    for src in sources:
+        findings.extend(_check_source(src, selected, project))
+    findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+    if cache is not None:
+        cache.store(ruleset, digest, findings)
     return findings

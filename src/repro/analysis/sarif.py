@@ -1,0 +1,162 @@
+"""SARIF 2.1.0 emission so findings annotate pull requests.
+
+The Static Analysis Results Interchange Format is what code hosts ingest
+to turn lint output into inline PR annotations.  This emitter produces
+the minimal conforming document: one run, the registered rules as
+``tool.driver.rules`` (id, short description, help text from the rule's
+rationale), and one ``result`` per finding with a 1-based
+``physicalLocation`` region.  :func:`validate_sarif` is the structural
+check CI (and the round-trip test) runs against the emitted document —
+self-contained on purpose, since the container installs no JSON-schema
+package.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .core import Finding, Rule
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = ("https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                "master/Schemata/sarif-schema-2.1.0.json")
+
+#: Framework-level findings that exist outside the rule registry.
+_FRAMEWORK_RULES = {
+    "PARSE": "file does not parse",
+    "ALLOW-REASON": "suppression comment without a justification",
+}
+
+
+def to_sarif(findings: Sequence[Finding],
+             rules: Sequence[Rule]) -> Dict[str, object]:
+    """Render findings as one SARIF 2.1.0 log dictionary."""
+    descriptors: List[Dict[str, object]] = []
+    known = set()
+    for rule in rules:
+        known.add(rule.id)
+        descriptors.append({
+            "id": rule.id,
+            "shortDescription": {"text": rule.summary},
+            "help": {"text": rule.rationale},
+        })
+    for rule_id, text in _FRAMEWORK_RULES.items():
+        known.add(rule_id)
+        descriptors.append({
+            "id": rule_id,
+            "shortDescription": {"text": text},
+        })
+    # Findings from rules outside the passed selection (cached runs with a
+    # different --select, fixtures) still need a descriptor to index.
+    for finding in findings:
+        if finding.rule not in known:
+            known.add(finding.rule)
+            descriptors.append({
+                "id": finding.rule,
+                "shortDescription": {"text": finding.rule},
+            })
+    index = {desc["id"]: i for i, desc in enumerate(descriptors)}
+    results: List[Dict[str, object]] = [
+        {
+            "ruleId": finding.rule,
+            "ruleIndex": index[finding.rule],
+            "level": "error",
+            "message": {"text": finding.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": finding.path},
+                    "region": {
+                        "startLine": finding.line,
+                        "startColumn": finding.col + 1,
+                    },
+                },
+            }],
+        }
+        for finding in findings
+    ]
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [{
+            "tool": {
+                "driver": {
+                    "name": "repro.analysis",
+                    "informationUri":
+                        "https://github.com/paper-repro/wl-reviver",
+                    "rules": descriptors,
+                },
+            },
+            "results": results,
+        }],
+    }
+
+
+def validate_sarif(document: object) -> List[str]:
+    """Structural conformance check; returns problems (empty = valid).
+
+    Covers the invariants the emitter (and any consumer) relies on:
+    version/runs at top level, a named driver with id'd rules, and every
+    result carrying a ruleId, a message and a 1-based physical location.
+    """
+    problems: List[str] = []
+    if not isinstance(document, dict):
+        return ["document is not an object"]
+    if document.get("version") != SARIF_VERSION:
+        problems.append(f"version must be {SARIF_VERSION!r}")
+    runs = document.get("runs")
+    if not isinstance(runs, list) or not runs:
+        return problems + ["runs must be a non-empty array"]
+    for run_index, run in enumerate(runs):
+        where = f"runs[{run_index}]"
+        if not isinstance(run, dict):
+            problems.append(f"{where} is not an object")
+            continue
+        driver = run.get("tool", {}).get("driver", {}) \
+            if isinstance(run.get("tool"), dict) else {}
+        if not isinstance(driver, dict) or not driver.get("name"):
+            problems.append(f"{where}.tool.driver.name missing")
+        rule_ids = set()
+        for rule in driver.get("rules", []) if isinstance(driver, dict) \
+                else []:
+            if not isinstance(rule, dict) or not rule.get("id"):
+                problems.append(f"{where} has a rule without an id")
+            else:
+                rule_ids.add(rule["id"])
+        results = run.get("results")
+        if not isinstance(results, list):
+            problems.append(f"{where}.results must be an array")
+            continue
+        for i, result in enumerate(results):
+            spot = f"{where}.results[{i}]"
+            if not isinstance(result, dict):
+                problems.append(f"{spot} is not an object")
+                continue
+            if not result.get("ruleId"):
+                problems.append(f"{spot}.ruleId missing")
+            elif rule_ids and result["ruleId"] not in rule_ids:
+                problems.append(f"{spot}.ruleId {result['ruleId']!r} "
+                                f"not in driver rules")
+            message = result.get("message")
+            if not (isinstance(message, dict)
+                    and isinstance(message.get("text"), str)):
+                problems.append(f"{spot}.message.text missing")
+            locations = result.get("locations")
+            if not (isinstance(locations, list) and locations):
+                problems.append(f"{spot}.locations missing")
+                continue
+            physical = locations[0].get("physicalLocation", {}) \
+                if isinstance(locations[0], dict) else {}
+            artifact = physical.get("artifactLocation", {}) \
+                if isinstance(physical, dict) else {}
+            region = physical.get("region", {}) \
+                if isinstance(physical, dict) else {}
+            if not (isinstance(artifact, dict) and artifact.get("uri")):
+                problems.append(f"{spot} artifactLocation.uri missing")
+            if not isinstance(region, dict) \
+                    or not isinstance(region.get("startLine"), int) \
+                    or region["startLine"] < 1:
+                problems.append(f"{spot} region.startLine must be >= 1")
+            elif isinstance(region.get("startColumn"), int) \
+                    and region["startColumn"] < 1:
+                problems.append(f"{spot} region.startColumn must be >= 1")
+    return problems

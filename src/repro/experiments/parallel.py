@@ -284,7 +284,7 @@ class GridRunner:
                     future = pool.submit(_pool_cell, item.fn, item.kwargs)
                 # Per-future submit time: queue wait must measure *this*
                 # future's time-to-completion, not the whole grid's.
-                futures[future] = ((kind, item), time.perf_counter())
+                futures[future] = ((kind, item), time.perf_counter())  # repro: allow(DET-WALLCLOCK): queue-wait profile, excluded from --check diffs
 
             for _ in range(workers):
                 submit_next()
@@ -299,7 +299,7 @@ class GridRunner:
                     # (waiting for a worker slot, pickling, or parent-side
                     # draining).
                     queue = max(0.0,
-                                time.perf_counter() - submitted - wall)
+                                time.perf_counter() - submitted - wall)  # repro: allow(DET-WALLCLOCK): queue-wait profile, excluded from --check diffs
                     if kind == "group":
                         self._record_group(item, value, wall, cpu, queue,
                                            results, completed, total)

@@ -233,7 +233,7 @@ class BatchedEngine:
         check: List[int] = []
 
         # --- software phase -------------------------------------------------
-        software_start = time.perf_counter()
+        software_start = time.perf_counter()  # repro: allow(DET-WALLCLOCK): phase profile only, stripped from compared payloads
         for i in active:
             engine = engines[i]
             counts = engine.trace.batch_counts(batches[i])
@@ -289,10 +289,10 @@ class BatchedEngine:
                     has_failed[i] = self.failed[i].any()
             except CapacityExhaustedError as exc:
                 self._abort(i, exc, aborted, stage="software")
-        software_seconds = time.perf_counter() - software_start
+        software_seconds = time.perf_counter() - software_start  # repro: allow(DET-WALLCLOCK): phase profile only, stripped from compared payloads
 
         # --- migration phase ------------------------------------------------
-        migration_start = time.perf_counter()
+        migration_start = time.perf_counter()  # repro: allow(DET-WALLCLOCK): phase profile only, stripped from compared payloads
         mig_pending: Dict[int, np.ndarray] = {}
         mig_check: List[int] = []
         for i in active:
@@ -332,7 +332,7 @@ class BatchedEngine:
                 engine._process_failures(newly, migration=True)
             except CapacityExhaustedError as exc:
                 self._abort(i, exc, aborted, stage="migration")
-        migration_seconds = time.perf_counter() - migration_start
+        migration_seconds = time.perf_counter() - migration_start  # repro: allow(DET-WALLCLOCK): phase profile only, stripped from compared payloads
 
         # --- bookkeeping ----------------------------------------------------
         survivors = [i for i in active if i not in aborted]

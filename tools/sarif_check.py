@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Validate a SARIF log emitted by ``python -m repro.analysis``.
+
+CI uploads the analyzer's SARIF output as a job artifact; a malformed
+document uploads fine and then silently fails to annotate anything, so
+the gate runs this structural check first::
+
+    PYTHONPATH=src python tools/sarif_check.py analysis.sarif
+
+Exits 0 when the document conforms (prints a one-line summary), 1 with
+one problem per line otherwise, 2 on usage errors.  The check is
+:func:`repro.analysis.sarif.validate_sarif` — self-contained on purpose,
+since the container installs no JSON-schema package.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+
+from repro.analysis import validate_sarif  # noqa: E402
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = sys.argv[1:] if argv is None else argv
+    if len(args) != 1:
+        print("usage: python tools/sarif_check.py <file.sarif>",
+              file=sys.stderr)
+        return 2
+    path = Path(args[0])
+    try:
+        document = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, ValueError) as exc:
+        print(f"unreadable SARIF {path}: {exc}", file=sys.stderr)
+        return 1
+    problems = validate_sarif(document)
+    if problems:
+        for problem in problems:
+            print(problem, file=sys.stderr)
+        return 1
+    runs = document["runs"]
+    results = sum(len(run.get("results", [])) for run in runs)
+    print(f"{path}: valid SARIF {document['version']}, "
+          f"{len(runs)} run(s), {results} result(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
