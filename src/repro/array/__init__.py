@@ -26,7 +26,7 @@ from .report import ArrayEndOfLifeReport, ShardCensus
 from .shard import deterministic_snapshot, run_shard_cell, shard_seed
 from .trace import SegmentedTrace
 from .workloads import (hotspot_workload, shard_attack_workload,
-                        uniform_workload)
+                        uniform_workload, zipf_workload)
 
 __all__ = [
     "ARRAY_POLICIES",
@@ -44,4 +44,5 @@ __all__ = [
     "shard_attack_workload",
     "shard_seed",
     "uniform_workload",
+    "zipf_workload",
 ]

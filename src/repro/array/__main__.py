@@ -26,7 +26,7 @@ from ..traces import DistributionTrace
 from .engine import (ARRAY_POLICIES, ArrayConfig, ArrayEngine, ArrayResult)
 from .decoder import INTERLEAVE_MODES
 from .workloads import (hotspot_workload, shard_attack_workload,
-                        uniform_workload)
+                        uniform_workload, zipf_workload)
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -45,10 +45,12 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--recovery", choices=("reviver", "none"),
                         default="reviver")
     parser.add_argument("--workload",
-                        choices=("uniform", "hotspot", "attack"),
+                        choices=("uniform", "hotspot", "attack", "zipf"),
                         default="hotspot")
     parser.add_argument("--cov", type=float, default=3.0,
                         help="hotspot workload write CoV")
+    parser.add_argument("--zipf-exponent", type=float, default=1.0,
+                        help="zipf workload rank exponent")
     parser.add_argument("--attack-shard", type=int, default=0)
     parser.add_argument("--hot-share", type=float, default=0.9)
     parser.add_argument("--mean", type=float, default=300.0,
@@ -88,6 +90,9 @@ def _workload(args: argparse.Namespace,
         return shard_attack_workload(decoder, shard=args.attack_shard,
                                      hot_share=args.hot_share,
                                      seed=args.seed)
+    if args.workload == "zipf":
+        return zipf_workload(decoder, exponent=args.zipf_exponent,
+                             seed=args.seed)
     return hotspot_workload(decoder, cov=args.cov, seed=args.seed)
 
 

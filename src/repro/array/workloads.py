@@ -16,7 +16,7 @@ import numpy as np
 
 from ..errors import ConfigurationError
 from ..rng import SeedLike
-from ..traces import DistributionTrace, hotspot_distribution
+from ..traces import DistributionTrace, hotspot_distribution, zipf_distribution
 from .decoder import InterleavedDecoder
 
 
@@ -32,6 +32,19 @@ def hotspot_workload(decoder: InterleavedDecoder, cov: float = 3.0,
                      seed: SeedLike = None) -> DistributionTrace:
     """Clustered hot-set workload over the global space (target CoV)."""
     return hotspot_distribution(decoder.global_blocks, cov, seed=seed)
+
+
+def zipf_workload(decoder: InterleavedDecoder, exponent: float = 1.0,
+                  seed: SeedLike = None) -> DistributionTrace:
+    """Zipf-popularity workload over the global space.
+
+    The seeded rank permutation scatters the popular head across shards,
+    so unlike :func:`shard_attack_workload` the skew is *not* aligned with
+    the layout — the realistic serving-traffic case, where interleaving
+    soaks up most (but not all) of the per-device imbalance.
+    """
+    return zipf_distribution(decoder.global_blocks, exponent=exponent,
+                             seed=seed)
 
 
 def shard_attack_workload(decoder: InterleavedDecoder, shard: int = 0,

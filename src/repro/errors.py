@@ -42,6 +42,32 @@ class ProtocolError(ReproError):
     """
 
 
+class ReadRetriesExhausted(ProtocolError):
+    """A block failed every read of its bounded retry budget.
+
+    Transient read errors are absorbed by re-sensing
+    (:meth:`repro.mc.controller.BaseController._read_block`); a block that
+    keeps failing past the configured budget is no longer *transiently*
+    wrong, so the condition surfaces structured rather than as message
+    text: callers (the serving layer's retry/backoff path, chaos-campaign
+    triage) can read the device address and the spent budget off the
+    exception instead of parsing an f-string.
+
+    Attributes
+    ----------
+    da:
+        Device address of the block whose reads kept failing.
+    attempts:
+        Number of read attempts made (the configured retry budget).
+    """
+
+    def __init__(self, da: int, attempts: int) -> None:
+        super().__init__(
+            f"block {da} failed {attempts} consecutive read retries")
+        self.da = da
+        self.attempts = attempts
+
+
 class WriteFault(ReproError):
     """A write to a PCM block could not be completed (block wore out).
 

@@ -39,8 +39,9 @@ from .report import format_series
 #: Shard counts swept (1 = the single-chip baseline).
 SHARD_COUNTS = (1, 2, 4, 8)
 
-#: Global workloads; "attack" concentrates 90% of traffic on shard 0.
-WORKLOADS = ("uniform", "hotspot", "attack")
+#: Global workloads; "attack" concentrates 90% of traffic on shard 0,
+#: "zipf" is the serving-traffic popularity law (skew not layout-aligned).
+WORKLOADS = ("uniform", "hotspot", "attack", "zipf")
 
 #: OS page size in blocks — small enough that the tiny scale still
 #: divides into 8 shards of whole pages.
@@ -74,7 +75,8 @@ def _workload_trace(workload: str, shards: int, software_blocks: int,
                     interleave: str, seed: int) -> DistributionTrace:
     """Build the global distribution for one cell (lazy array import)."""
     from ..array import (InterleavedDecoder, hotspot_workload,
-                         shard_attack_workload, uniform_workload)
+                         shard_attack_workload, uniform_workload,
+                         zipf_workload)
     decoder = InterleavedDecoder(shards, software_blocks,
                                  interleave=interleave,
                                  page_blocks=PAGE_BLOCKS)
@@ -85,6 +87,8 @@ def _workload_trace(workload: str, shards: int, software_blocks: int,
     if workload == "attack":
         return shard_attack_workload(decoder, shard=0, hot_share=0.9,
                                      seed=seed)
+    if workload == "zipf":
+        return zipf_workload(decoder, exponent=1.0, seed=seed)
     raise ConfigurationError(
         f"unknown workload {workload!r}; choose from {WORKLOADS}")
 

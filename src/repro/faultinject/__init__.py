@@ -11,7 +11,8 @@ touch the ``inject`` hooks — the FAULT-HOOK lint rule enforces that.
 
 from .hooks import ChipHooks, ControllerHooks, ScheduleDriver
 from .schedule import (ACTION_KINDS, CRASH_SITES, FaultAction, FaultSchedule,
-                       for_shard, random_schedule, shard_death_schedule)
+                       for_shard, random_schedule, shard_death_schedule,
+                       shard_stall_schedule)
 
 __all__ = [
     "ACTION_KINDS",
@@ -24,4 +25,5 @@ __all__ = [
     "for_shard",
     "random_schedule",
     "shard_death_schedule",
+    "shard_stall_schedule",
 ]

@@ -146,6 +146,12 @@ class ScheduleDriver:
         elif action.kind == "read-error":
             if self._exact and action.da is not None:
                 self.chip_hooks.arm_read_error(action.da)
+        elif action.kind == "shard-stall":
+            # A serving-layer action: the shard's request path stalls, but
+            # the device underneath keeps working.  Engine drivers record
+            # it as applied and do nothing, like the fast engine with
+            # ``crash`` — the serving layer has its own interpreter.
+            pass
 
     def _clamp(self, das: "tuple[int, ...]", margin: int) -> None:
         """Clamp ECC thresholds so each live target dies within *margin*."""

@@ -27,8 +27,8 @@ from collections import OrderedDict
 from typing import List, Optional, Set, Tuple, TYPE_CHECKING
 
 from ..config import ReviverConfig
-from ..errors import (ProtocolError, SimulatedCrash, UncorrectableError,
-                      WriteFault)
+from ..errors import (ConfigurationError, ProtocolError, ReadRetriesExhausted,
+                      SimulatedCrash, UncorrectableError, WriteFault)
 from ..ecc.freep import FreePRegion
 from ..osmodel.allocator import PagePool
 from ..osmodel.faults import FaultReporter
@@ -43,7 +43,8 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from ..faultinject.hooks import ControllerHooks
     from ..telemetry.session import TelemetrySession
 
-#: Bounded retries for transient (correctable-on-retry) read errors.
+#: Default bounded retries for transient (correctable-on-retry) read
+#: errors; override per controller with ``read_retry_limit``.
 READ_RETRY_LIMIT = 8
 
 
@@ -52,14 +53,19 @@ class BaseController(abc.ABC):
 
     def __init__(self, chip: PCMChip, wl: WearLeveler, ospool: PagePool,
                  cache: Optional[RemapCache] = None,
-                 copy_on_retire: bool = False) -> None:
+                 copy_on_retire: bool = False,
+                 read_retry_limit: int = READ_RETRY_LIMIT) -> None:
         if wl.device_blocks > chip.num_blocks:
             raise ProtocolError("wear-leveler space exceeds the chip")
+        if read_retry_limit < 1:
+            raise ConfigurationError("read_retry_limit must be >= 1")
         self.chip = chip
         self.wl = wl
         self.ospool = ospool
         self.cache = cache
         self.copy_on_retire = copy_on_retire
+        #: Bounded retry budget for transient read errors.
+        self.read_retry_limit = read_retry_limit
         self.reporter = FaultReporter(ospool)
         self.stats = AccessStats()
         #: Software writes serviced (drives victimization bookkeeping).
@@ -129,8 +135,10 @@ class BaseController(abc.ABC):
         Transient :class:`~repro.errors.UncorrectableError`\\ s (soft read
         disturbs, injected or otherwise) are retryable: the cells hold the
         data, re-sensing succeeds.  Each retry costs one extra PCM access.
+        A block that fails the whole :attr:`read_retry_limit` budget raises
+        the structured :class:`~repro.errors.ReadRetriesExhausted`.
         """
-        for _ in range(READ_RETRY_LIMIT):
+        for _ in range(self.read_retry_limit):
             try:
                 return self.chip.read(da)
             except UncorrectableError:
@@ -138,8 +146,7 @@ class BaseController(abc.ABC):
                 self.stats.pcm_accesses += 1
                 if self.telem is not None:
                     self.telem.emit("read-retry", da=da, at_write=self.writes)
-        raise ProtocolError(
-            f"block {da} failed {READ_RETRY_LIMIT} consecutive read retries")
+        raise ReadRetriesExhausted(da, self.read_retry_limit)
 
     # -------------------------------------------------------- crash recovery
 
@@ -361,9 +368,11 @@ class ReviverController(BaseController):
     def __init__(self, chip: PCMChip, wl: WearLeveler, ospool: PagePool,
                  reviver_config: Optional[ReviverConfig] = None,
                  cache: Optional[RemapCache] = None,
-                 copy_on_retire: bool = False) -> None:
+                 copy_on_retire: bool = False,
+                 read_retry_limit: int = READ_RETRY_LIMIT) -> None:
         super().__init__(chip, wl, ospool, cache=cache,
-                         copy_on_retire=copy_on_retire)
+                         copy_on_retire=copy_on_retire,
+                         read_retry_limit=read_retry_limit)
         self.reviver_config = reviver_config or ReviverConfig()
         self.reviver = WLReviver(
             self.reviver_config, self.reporter,
@@ -620,9 +629,11 @@ class FreePController(BaseController):
     def __init__(self, chip: PCMChip, wl: WearLeveler, ospool: PagePool,
                  region: FreePRegion,
                  cache: Optional[RemapCache] = None,
-                 copy_on_retire: bool = False) -> None:
+                 copy_on_retire: bool = False,
+                 read_retry_limit: int = READ_RETRY_LIMIT) -> None:
         super().__init__(chip, wl, ospool, cache=cache,
-                         copy_on_retire=copy_on_retire)
+                         copy_on_retire=copy_on_retire,
+                         read_retry_limit=read_retry_limit)
         if wl.device_blocks != region.working_blocks:
             raise ProtocolError(
                 "wear-leveler must cover exactly the non-reserved space")

@@ -1,0 +1,92 @@
+"""Per-shard circuit breaker with the classic three-state cycle.
+
+``closed`` — requests flow; consecutive failures are counted and any
+success resets the count.  ``open`` — admissions fast-fail (the caller
+retries elsewhere or backs off) until a cooldown of virtual ticks has
+passed.  ``half-open`` — exactly one *probe* request is admitted; its
+success closes the breaker, its failure re-opens a full cooldown.
+
+The breaker runs on the virtual clock, so the cycle is deterministic and
+its transitions are assertable in tests to the exact tick.  Wear-fed
+*brownout* is deliberately kept out of this class: steering writes away
+from a worn shard is an admission-time routing decision (see
+:meth:`repro.serve.engine.ServiceEngine`), not a health state — a
+browned-out shard still serves reads and steered-in traffic fine.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..errors import ConfigurationError
+
+#: Breaker states, as reported by :attr:`CircuitBreaker.state`.
+BREAKER_STATES: Tuple[str, ...] = ("closed", "open", "half-open")
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker on the virtual clock."""
+
+    __slots__ = ("threshold", "cooldown", "state", "failures",
+                 "opened_at", "probing", "opened", "closed_after_probe")
+
+    def __init__(self, threshold: int, cooldown: int) -> None:
+        if threshold < 1:
+            raise ConfigurationError("breaker threshold must be >= 1")
+        if cooldown < 1:
+            raise ConfigurationError("breaker cooldown must be >= 1")
+        self.threshold = threshold
+        self.cooldown = cooldown
+        self.state = "closed"
+        self.failures = 0
+        self.opened_at = 0
+        #: True while the single half-open probe is in flight.
+        self.probing = False
+        #: Times this breaker tripped open (telemetry).
+        self.opened = 0
+        #: Times a probe success closed it again (telemetry).
+        self.closed_after_probe = 0
+
+    def admit(self, now: int) -> str:
+        """Admission decision at tick *now*: ``ok``/``probe``/``fast-fail``.
+
+        Returning ``probe`` transitions the breaker to half-open and
+        claims the probe slot — the caller must mark the admitted request
+        as the probe and report its fate via :meth:`record_success` /
+        :meth:`record_failure`.
+        """
+        if self.state == "closed":
+            return "ok"
+        if self.state == "open" and now - self.opened_at >= self.cooldown:
+            self.state = "half-open"
+        if self.state == "half-open" and not self.probing:
+            self.probing = True
+            return "probe"
+        return "fast-fail"
+
+    def record_success(self, probe: bool) -> None:
+        """A request served fine; a probe success closes the breaker."""
+        if probe:
+            self.probing = False
+            self.state = "closed"
+            self.closed_after_probe += 1
+        self.failures = 0
+
+    def record_failure(self, now: int, probe: bool) -> None:
+        """A request failed at the shard; may trip or re-open the breaker."""
+        if probe:
+            self.probing = False
+            self._trip(now)
+            return
+        self.failures += 1
+        if self.state == "closed" and self.failures >= self.threshold:
+            self._trip(now)
+
+    def _trip(self, now: int) -> None:
+        self.state = "open"
+        self.opened_at = now
+        self.failures = 0
+        self.opened += 1
+
+
+__all__ = ["CircuitBreaker", "BREAKER_STATES"]

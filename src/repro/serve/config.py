@@ -1,0 +1,178 @@
+"""Configuration for the online serving layer.
+
+One frozen dataclass holds every knob of the virtual-clock service:
+array geometry (mirroring :class:`repro.array.ArrayConfig`), the
+closed-loop client population, per-shard queueing and batching, the
+admission/backpressure policy, deadline and retry budgets, and the
+circuit-breaker / brownout thresholds.  Validation happens once at
+construction so the discrete-event engine never re-checks ranges on its
+hot path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Tuple
+
+from ..array.decoder import INTERLEAVE_MODES
+from ..errors import ConfigurationError
+from ..mc.controller import READ_RETRY_LIMIT
+
+#: What the array does about a dead shard, as seen from the service:
+#: ``degraded`` re-homes the dead shard's addresses onto survivors,
+#: ``fail-stop`` turns every request touching it into a hard failure.
+SERVE_POLICIES: Tuple[str, ...] = ("degraded", "fail-stop")
+
+#: How a full per-shard queue treats a new request: ``shed`` rejects it
+#: immediately (load shedding), ``block`` parks it in an overflow lane
+#: until a slot frees (backpressure — the request keeps its deadline).
+ADMISSION_MODES: Tuple[str, ...] = ("shed", "block")
+
+#: Client think-time processes (virtual ticks between response and the
+#: next request of a closed-loop client).
+ARRIVAL_PROCESSES: Tuple[str, ...] = ("uniform", "poisson")
+
+#: Client address/read-write workloads.
+SERVE_WORKLOADS: Tuple[str, ...] = ("zipf", "uniform")
+
+#: Default latency histogram bounds, in virtual ticks (geometric, so the
+#: p99 of a few-hundred-tick service keeps sub-bucket resolution).
+LATENCY_BOUNDS: Tuple[float, ...] = (
+    1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0,
+    1024.0, 2048.0, 4096.0, 8192.0, 16384.0)
+
+
+@dataclass(frozen=True)
+class ServeConfig:
+    """Every knob of one serving run (frozen; validated on construction)."""
+
+    # ----------------------------------------------------- array geometry
+    num_shards: int = 4
+    shard_blocks: int = 512
+    page_blocks: int = 16
+    interleave: str = "block"
+    policy: str = "degraded"
+    #: Fraction of a shard's blocks a single clamp action must cover to
+    #: count as a whole-shard death (mirrors the array engine's floor).
+    dead_fraction: float = 0.5
+
+    # -------------------------------------------------------------- load
+    clients: int = 8
+    total_requests: int = 2_000
+    workload: str = "zipf"
+    zipf_exponent: float = 1.0
+    write_ratio: float = 0.5
+    arrival: str = "poisson"
+    #: Mean think time between a response and the client's next request.
+    think_ticks: int = 4
+
+    # ------------------------------------------------- queueing & service
+    queue_depth: int = 16
+    admission: str = "shed"
+    batch_max: int = 8
+    #: Ticks an idle shard waits for a batch to fill before dispatching.
+    batch_window: int = 2
+    #: Fixed per-batch service overhead, plus per-request read/write cost.
+    service_base: int = 2
+    read_ticks: int = 1
+    write_ticks: int = 3
+
+    # -------------------------------------------- deadlines & retries
+    deadline_ticks: int = 400
+    retry_limit: int = READ_RETRY_LIMIT
+    backoff_base: int = 2
+
+    # -------------------------------------- breaker & wear-fed brownout
+    breaker_threshold: int = 4
+    breaker_cooldown: int = 32
+    #: Wear fraction (lifetime writes / endurance budget) past which a
+    #: shard browns out: new writes steer to the least-worn live shard.
+    brownout_wear: float = 0.85
+    mean_endurance: float = 300.0
+
+    # ---------------------------------------------------------- plumbing
+    seed: int = 7
+    latency_bounds: Tuple[float, ...] = LATENCY_BOUNDS
+
+    def __post_init__(self) -> None:
+        if self.num_shards < 1:
+            raise ConfigurationError("need at least one shard")
+        if self.shard_blocks < 1:
+            raise ConfigurationError("shard_blocks must be positive")
+        if self.interleave not in INTERLEAVE_MODES:
+            raise ConfigurationError(
+                f"unknown interleave {self.interleave!r}")
+        if self.policy not in SERVE_POLICIES:
+            raise ConfigurationError(
+                f"policy must be one of {SERVE_POLICIES}, "
+                f"got {self.policy!r}")
+        if not 0.0 < self.dead_fraction <= 1.0:
+            raise ConfigurationError("dead_fraction must be in (0, 1]")
+        if self.clients < 1:
+            raise ConfigurationError("need at least one client")
+        if self.total_requests < 1:
+            raise ConfigurationError("total_requests must be positive")
+        if self.workload not in SERVE_WORKLOADS:
+            raise ConfigurationError(
+                f"workload must be one of {SERVE_WORKLOADS}, "
+                f"got {self.workload!r}")
+        if not 0.0 <= self.write_ratio <= 1.0:
+            raise ConfigurationError("write_ratio must be in [0, 1]")
+        if self.arrival not in ARRIVAL_PROCESSES:
+            raise ConfigurationError(
+                f"arrival must be one of {ARRIVAL_PROCESSES}, "
+                f"got {self.arrival!r}")
+        if self.think_ticks < 0:
+            raise ConfigurationError("think_ticks must be >= 0")
+        if self.queue_depth < 1:
+            raise ConfigurationError("queue_depth must be >= 1")
+        if self.admission not in ADMISSION_MODES:
+            raise ConfigurationError(
+                f"admission must be one of {ADMISSION_MODES}, "
+                f"got {self.admission!r}")
+        if self.batch_max < 1:
+            raise ConfigurationError("batch_max must be >= 1")
+        if self.batch_window < 0:
+            raise ConfigurationError("batch_window must be >= 0")
+        if min(self.service_base, self.read_ticks, self.write_ticks) < 0:
+            raise ConfigurationError("service costs must be >= 0")
+        if self.service_base + self.read_ticks + self.write_ticks < 1:
+            raise ConfigurationError("service must take at least one tick")
+        if self.deadline_ticks < 1:
+            raise ConfigurationError("deadline_ticks must be >= 1")
+        if self.retry_limit < 1:
+            raise ConfigurationError("retry_limit must be >= 1")
+        if self.backoff_base < 1:
+            raise ConfigurationError("backoff_base must be >= 1")
+        if self.breaker_threshold < 1:
+            raise ConfigurationError("breaker_threshold must be >= 1")
+        if self.breaker_cooldown < 1:
+            raise ConfigurationError("breaker_cooldown must be >= 1")
+        if not 0.0 < self.brownout_wear <= 1.0:
+            raise ConfigurationError("brownout_wear must be in (0, 1]")
+        if self.mean_endurance <= 0:
+            raise ConfigurationError("mean_endurance must be positive")
+        if len(self.latency_bounds) < 1:
+            raise ConfigurationError("need at least one latency bound")
+
+    @property
+    def global_blocks(self) -> int:
+        """Size of the decoded global address space."""
+        return self.num_shards * self.shard_blocks
+
+    @property
+    def endurance_budget(self) -> float:
+        """Lifetime writes one shard absorbs before full wear-out."""
+        return self.shard_blocks * self.mean_endurance
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready form (stable key order comes from the serializer)."""
+        data: Dict[str, Any] = {}
+        for name in self.__dataclass_fields__:
+            value = getattr(self, name)
+            data[name] = list(value) if isinstance(value, tuple) else value
+        return data
+
+
+__all__ = ["ServeConfig", "SERVE_POLICIES", "ADMISSION_MODES",
+           "ARRIVAL_PROCESSES", "SERVE_WORKLOADS", "LATENCY_BOUNDS"]

@@ -1,0 +1,71 @@
+"""The SLO report: quantiles, throughput, and accounting from telemetry.
+
+Everything in the report derives from the *merged* snapshot — never
+from engine-private state — so the same report can be recomputed
+offline from a saved snapshot artifact (``python -m repro.telemetry
+summarize`` reads the same file), and so the report is byte-identical
+whenever the snapshot is.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping
+
+from ..telemetry import SLO_QUANTILES, quantile_label, snapshot_quantiles
+from .config import ServeConfig
+from .requests import OUTCOMES
+
+
+def _counter(snapshot: Mapping[str, Mapping[str, Any]], name: str) -> Any:
+    return snapshot.get("counters", {}).get(name, 0)
+
+
+def _gauge(snapshot: Mapping[str, Mapping[str, Any]], name: str) -> Any:
+    return snapshot.get("gauges", {}).get(name, 0)
+
+
+def build_report(snapshot: Mapping[str, Mapping[str, Any]],
+                 config: ServeConfig) -> Dict[str, Any]:
+    """Derive the SLO report from a merged telemetry snapshot."""
+    quantiles = snapshot_quantiles(snapshot, SLO_QUANTILES)
+    labels = [quantile_label(q) for q in SLO_QUANTILES]
+    latency: Dict[str, Dict[str, float]] = {}
+    for kind in ("read", "write"):
+        table = quantiles.get(f"serve.latency.{kind}")
+        if table is not None:
+            latency[kind] = {label: table[label] for label in labels}
+    duration = _gauge(snapshot, "serve.duration")
+    ok = _counter(snapshot, "serve.ok")
+    throughput = (float(ok) / float(duration)) if duration else 0.0
+    counts = {outcome: _counter(snapshot, f"serve.{outcome}")
+              for outcome in OUTCOMES}
+    counts["issued"] = _counter(snapshot, "serve.issued")
+    return {
+        "latency": latency,
+        "throughput": throughput,
+        "duration": duration,
+        "counts": counts,
+        "resilience": {
+            "retries": _counter(snapshot, "serve.retries"),
+            "retries_exhausted": _counter(snapshot,
+                                          "serve.retries_exhausted"),
+            "failover": _counter(snapshot, "serve.failover"),
+            "steered": _counter(snapshot, "serve.steered"),
+            "stalled": _counter(snapshot, "serve.stalled"),
+            "blocked": _counter(snapshot, "serve.blocked"),
+            "deadline_miss": _counter(snapshot, "serve.deadline_miss"),
+            "breaker_fast_fail": _counter(snapshot,
+                                          "serve.breaker_fast_fail"),
+            "breaker_probes": _counter(snapshot, "serve.breaker_probes"),
+            "breaker_opened": _counter(snapshot, "serve.breaker_opened"),
+            "breaker_closed": _counter(snapshot, "serve.breaker_closed"),
+            "deaths": _counter(snapshot, "serve.deaths"),
+        },
+        "shards": {
+            "total": config.num_shards,
+            "live": _gauge(snapshot, "serve.live_shards"),
+        },
+    }
+
+
+__all__ = ["build_report"]

@@ -25,7 +25,9 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from .metrics import (Counter, Gauge, Histogram, Registry, merge_snapshots)
+from .metrics import (Counter, Gauge, Histogram, Registry, SLO_QUANTILES,
+                      histogram_quantile, merge_snapshots, quantile_label,
+                      snapshot_quantiles)
 from .session import PhaseTimer, TelemetrySession
 from .timing import CellTiming, timed_call
 from .trace import (EVENT_KINDS, META_KIND, PROFILE_KIND, TraceWriter,
@@ -83,7 +85,9 @@ def attach_fast(session: TelemetrySession,
 
 
 __all__ = [
-    "Counter", "Gauge", "Histogram", "Registry", "merge_snapshots",
+    "Counter", "Gauge", "Histogram", "Registry", "SLO_QUANTILES",
+    "histogram_quantile", "merge_snapshots", "quantile_label",
+    "snapshot_quantiles",
     "TelemetrySession", "PhaseTimer", "TraceWriter", "CellTiming",
     "timed_call", "EVENT_KINDS", "META_KIND", "PROFILE_KIND", "census",
     "diff_traces", "read_trace", "run_meta",

@@ -21,7 +21,11 @@ import sys
 from typing import Dict, List, Optional, Sequence
 
 from ..errors import ReproError
+from .metrics import SLO_QUANTILES, quantile_label, snapshot_quantiles
 from .trace import Json, census, diff_traces, profile_of, read_trace, run_meta
+
+#: Snapshot-JSON sections a summarizable registry dump may carry.
+_SNAPSHOT_KEYS = ("counters", "gauges", "histograms")
 
 
 def _format_profile(phases: Dict[str, Json]) -> List[str]:
@@ -46,7 +50,65 @@ def _format_profile(phases: Dict[str, Json]) -> List[str]:
     return lines
 
 
+def _load_snapshot(path: str) -> Optional[Dict[str, Dict[str, object]]]:
+    """Read *path* as a registry-snapshot JSON object, or ``None``.
+
+    A snapshot file is a single JSON object whose keys are a subset of
+    ``counters``/``gauges``/``histograms`` (what :meth:`Registry.snapshot`
+    and :func:`merge_snapshots` emit, and what the array and serve layers
+    write as artifacts).  A result file that *embeds* a snapshot under a
+    ``"snapshot"`` key (``python -m repro.serve --json``) is unwrapped.
+    Anything else — a JSONL trace included — is not a snapshot and falls
+    through to the trace reader.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError:
+        return None
+    if isinstance(data, dict) and isinstance(data.get("snapshot"), dict):
+        data = data["snapshot"]
+    if not isinstance(data, dict) or not data:
+        return None
+    if not all(key in _SNAPSHOT_KEYS and isinstance(value, dict)
+               for key, value in data.items()):
+        return None
+    return {str(key): dict(value) for key, value in data.items()}
+
+
+def _summarize_snapshot(path: str, snapshot: Dict[str, Dict[str, object]],
+                        as_json: bool) -> int:
+    """Print a registry snapshot: counters, gauges, histogram quantiles."""
+    quantiles = snapshot_quantiles(snapshot, SLO_QUANTILES)
+    if as_json:
+        print(json.dumps({"path": path, "quantiles": quantiles,
+                          "snapshot": snapshot},
+                         sort_keys=True, indent=2))
+        return 0
+    print(f"snapshot: {path}")
+    for section in ("counters", "gauges"):
+        values = snapshot.get(section, {})
+        if values:
+            print(f"{section}:")
+            for name in sorted(values):
+                print(f"  {name:<40} {values[name]}")
+    if quantiles:
+        labels = [quantile_label(q) for q in SLO_QUANTILES]
+        print("histograms:")
+        header = " ".join(f"{label:>10}" for label in labels)
+        print(f"  {'name':<40} {header}")
+        for name in sorted(quantiles):
+            row = " ".join(f"{quantiles[name][label]:>10.3f}"
+                           for label in labels)
+            print(f"  {name:<40} {row}")
+    return 0
+
+
 def _summarize(path: str, as_json: bool) -> int:
+    snapshot = _load_snapshot(path)
+    if snapshot is not None:
+        return _summarize_snapshot(path, snapshot, as_json)
     records = read_trace(path)
     meta = run_meta(records)
     counts = census(records)

@@ -36,6 +36,9 @@ Number = Union[int, float]
 DEFAULT_BUCKETS: Tuple[float, ...] = (
     0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1.0, 5.0, 10.0, 60.0)
 
+#: Default SLO quantiles reported for latency-style histograms.
+SLO_QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99)
+
 
 class Counter:
     """A monotonically non-decreasing sum."""
@@ -113,6 +116,14 @@ class Histogram:
             acc += count
             out.append(acc)
         return out
+
+    def quantile(self, q: float) -> float:
+        """Estimate the *q*-quantile of the observed distribution.
+
+        Delegates to :func:`histogram_quantile` over this histogram's
+        snapshot — same estimator live or from a merged snapshot.
+        """
+        return histogram_quantile(self.snapshot(), q)
 
     def snapshot(self) -> Dict[str, object]:
         return {"bounds": list(self.bounds), "counts": list(self.counts),
@@ -261,6 +272,75 @@ def merge_snapshots(a: Mapping[str, Mapping[str, object]],
     return merged.snapshot()
 
 
+def histogram_quantile(data: Mapping[str, object], q: float) -> float:
+    """Estimate the *q*-quantile of one histogram snapshot.
+
+    The estimator is the standard bucketed one (what Prometheus calls
+    ``histogram_quantile``): find the bucket holding the ``q * total``-th
+    observation in cumulative order and interpolate linearly inside it,
+    taking ``0.0`` (or the first bound, when negative) as the lower edge
+    of the first bucket.  The open overflow bucket has no upper edge, so
+    quantiles landing there clamp to the last bound — callers wanting
+    exact tails must size their bounds past them.
+
+    Deterministic and snapshot-native: merged snapshots (bucket counts
+    added across shards/workers) yield exactly the quantiles of the
+    union of observations, up to the shared bucket resolution.
+    """
+    if not 0.0 <= q <= 1.0:
+        raise ConfigurationError(f"quantile must be in [0, 1], got {q}")
+    bounds = [float(b) for b in _as_list(data, "bounds")]
+    counts = [int(c) for c in _as_list(data, "counts")]
+    if len(counts) != len(bounds) + 1:
+        raise ConfigurationError(
+            "histogram snapshot needs len(bounds) + 1 bucket counts")
+    total = sum(counts)
+    if total <= 0:
+        raise ConfigurationError("cannot take a quantile of an empty "
+                                 "histogram")
+    rank = q * total
+    cumulative = 0
+    for i, count in enumerate(counts):
+        if count == 0:
+            continue
+        if cumulative + count >= rank:
+            if i >= len(bounds):
+                return bounds[-1]  # open overflow bucket: clamp
+            hi = bounds[i]
+            lo = min(0.0, bounds[0]) if i == 0 else bounds[i - 1]
+            fraction = max(0.0, rank - cumulative) / count
+            return lo + fraction * (hi - lo)
+        cumulative += count
+    return bounds[-1]  # pragma: no cover - rank <= total always lands
+
+
+def quantile_label(q: float) -> str:
+    """Canonical ``pNN`` label for a quantile (``0.99`` -> ``"p99"``)."""
+    text = f"{q * 100:.10g}"
+    return f"p{text}"
+
+
+def snapshot_quantiles(snapshot: Mapping[str, Mapping[str, object]],
+                       quantiles: Sequence[float] = SLO_QUANTILES,
+                       ) -> Dict[str, Dict[str, float]]:
+    """Per-histogram quantile table of a registry snapshot.
+
+    Returns ``{histogram name: {"p50": ..., "p95": ..., "p99": ...}}``
+    for every non-empty histogram in *snapshot* (empty ones are skipped —
+    they have no quantiles).  Works on single and merged snapshots alike.
+    """
+    table: Dict[str, Dict[str, float]] = {}
+    for name, data in snapshot.get("histograms", {}).items():
+        if not isinstance(data, Mapping):
+            raise ConfigurationError(
+                f"histogram snapshot {name!r} is not a mapping")
+        if int(_as_number(data["total"])) <= 0:
+            continue
+        table[name] = {quantile_label(q): histogram_quantile(data, q)
+                       for q in quantiles}
+    return table
+
+
 def _as_number(value: object) -> Number:
     if isinstance(value, bool) or not isinstance(value, (int, float)):
         raise ConfigurationError(f"expected a number in snapshot, got "
@@ -277,4 +357,6 @@ def _as_list(data: Mapping[str, object], key: str) -> Sequence[object]:
 
 
 __all__ = ["Counter", "Gauge", "Histogram", "Registry", "merge_snapshots",
-           "DEFAULT_BUCKETS", "NULL_COUNTER", "NULL_GAUGE", "NULL_HISTOGRAM"]
+           "histogram_quantile", "quantile_label", "snapshot_quantiles",
+           "DEFAULT_BUCKETS", "SLO_QUANTILES",
+           "NULL_COUNTER", "NULL_GAUGE", "NULL_HISTOGRAM"]

@@ -14,12 +14,13 @@ birthday-paradox attack of Seznec that wear-leveling papers must survive),
 a simple trace file format, and CoV estimators.
 """
 
-from .base import WriteTrace, DistributionTrace
+from .base import WriteTrace, DistributionTrace, RequestStream
 from .synthetic import (
     hotspot_distribution,
     lognormal_distribution,
     solve_hot_fraction,
     zipf_distribution,
+    zipf_request_stream,
 )
 from .benchmarks import BENCHMARKS, BenchmarkSpec, benchmark_trace, benchmark_names
 from .attacks import birthday_paradox_attack, hammer_attack, sequential_sweep
@@ -27,9 +28,9 @@ from .fileio import write_trace_file, read_trace_file
 from .stats import write_cov, counts_cov, distribution_cov
 
 __all__ = [
-    "WriteTrace", "DistributionTrace",
+    "WriteTrace", "DistributionTrace", "RequestStream",
     "hotspot_distribution", "lognormal_distribution", "zipf_distribution",
-    "solve_hot_fraction",
+    "zipf_request_stream", "solve_hot_fraction",
     "BENCHMARKS", "BenchmarkSpec", "benchmark_trace", "benchmark_names",
     "birthday_paradox_attack", "hammer_attack", "sequential_sweep",
     "write_trace_file", "read_trace_file",

@@ -16,7 +16,7 @@ themselves are history-less).
 from __future__ import annotations
 
 import abc
-from typing import Optional
+from typing import Optional, Tuple
 
 import numpy as np
 
@@ -79,6 +79,14 @@ class DistributionTrace(WriteTrace):
         self._buffer = None
         self._buffer_pos = 0
 
+    def request_stream(self, write_ratio: float = 0.5,
+                       name: Optional[str] = None,
+                       seed: SeedLike = None) -> "RequestStream":
+        """A read/write request stream drawing addresses from this trace."""
+        return RequestStream(self.probabilities, write_ratio=write_ratio,
+                             name=self.name if name is None else name,
+                             seed=self._seed if seed is None else seed)
+
     def restricted_to(self, virtual_blocks: int) -> "DistributionTrace":
         """Fold the distribution onto a smaller virtual space.
 
@@ -94,3 +102,59 @@ class DistributionTrace(WriteTrace):
             folded[:len(chunk)] += chunk
         return DistributionTrace(folded, name=f"{self.name}-folded",
                                  seed=self._seed)
+
+
+class RequestStream:
+    """Deterministic stream of ``(address, is_write)`` service requests.
+
+    Write traces model the address stream a wear-leveler sees; the online
+    serving layer additionally needs the read/write *mix*, because only
+    writes wear the device while both kinds occupy queue slots and service
+    time.  A :class:`RequestStream` draws both from one generator derived
+    from ``(seed, name)``, so two streams built with the same pair replay
+    the exact same requests — the property the serving layer's per-client
+    load generators lean on for byte-identical runs at any worker count.
+    """
+
+    _BUFFER = 4096
+
+    def __init__(self, probabilities: np.ndarray, write_ratio: float = 0.5,
+                 name: str = "requests", seed: SeedLike = None) -> None:
+        probabilities = np.asarray(probabilities, dtype=np.float64)
+        if len(probabilities) == 0:
+            raise ConfigurationError("need at least one address")
+        total = probabilities.sum()
+        if total <= 0 or (probabilities < 0).any():
+            raise ConfigurationError(
+                "probabilities must be non-negative, sum > 0")
+        if not 0.0 <= write_ratio <= 1.0:
+            raise ConfigurationError("write_ratio must be in [0, 1]")
+        self.probabilities = probabilities / total
+        self.virtual_blocks = len(probabilities)
+        self.write_ratio = write_ratio
+        self.name = name
+        self._seed = seed
+        self._rng = derive_rng(seed, f"requests-{name}")
+        self._addresses: Optional[np.ndarray] = None
+        self._writes: Optional[np.ndarray] = None
+        self._pos = 0
+
+    def next_request(self) -> Tuple[int, bool]:
+        """Next request as ``(virtual address, is_write)``."""
+        if self._addresses is None or self._writes is None \
+                or self._pos >= len(self._addresses):
+            self._addresses = self._rng.choice(
+                self.virtual_blocks, size=self._BUFFER, p=self.probabilities)
+            self._writes = self._rng.random(self._BUFFER) < self.write_ratio
+            self._pos = 0
+        address = int(self._addresses[self._pos])
+        is_write = bool(self._writes[self._pos])
+        self._pos += 1
+        return address, is_write
+
+    def reset(self) -> None:
+        """Restart the stream from its first request."""
+        self._rng = derive_rng(self._seed, f"requests-{self.name}")
+        self._addresses = None
+        self._writes = None
+        self._pos = 0

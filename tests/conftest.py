@@ -34,7 +34,7 @@ def make_chip(num_blocks: int = 128, mean: float = 400.0, cov: float = 0.25,
 def make_reviver_system(num_blocks: int = 128, mean: float = 400.0,
                         utilization: float = 0.8, cache: bool = False,
                         check_invariants: bool = True,
-                        seed: int = 11):
+                        seed: int = 11, **controller_kwargs):
     """Chip + Start-Gap + OS pool + ReviverController, test-sized.
 
     Returns ``(controller, chip, wear_leveler, ospool)``.
@@ -50,7 +50,7 @@ def make_reviver_system(num_blocks: int = 128, mean: float = 400.0,
     controller = ReviverController(
         chip, wear_leveler, ospool,
         reviver_config=ReviverConfig(check_invariants=check_invariants),
-        cache=remap_cache, copy_on_retire=True)
+        cache=remap_cache, copy_on_retire=True, **controller_kwargs)
     return controller, chip, wear_leveler, ospool
 
 

@@ -16,7 +16,7 @@ from repro.errors import (CapacityExhaustedError, ConfigurationError,
 from repro.faultinject import (ACTION_KINDS, CRASH_SITES, ChipHooks,
                                ControllerHooks, FaultAction, FaultSchedule,
                                ScheduleDriver, for_shard, random_schedule,
-                               shard_death_schedule)
+                               shard_death_schedule, shard_stall_schedule)
 from repro.faultinject.campaign import (RATIO_BAND, _schedule_horizon,
                                         reproduce, run_cell, summarize)
 from repro.mc.controller import READ_RETRY_LIMIT
@@ -118,10 +118,48 @@ class TestScheduleDSL:
             "exhaust-spares": {},
             "crash": dict(site=CRASH_SITES[0]),
             "read-error": dict(da=1),
+            "shard-stall": dict(requests=3, shard=0),
         }
         assert set(samples) == set(ACTION_KINDS)
         for kind, extra in samples.items():
             FaultAction(kind, at_write=1, **extra)
+
+
+class TestShardStall:
+    """The transient ``shard-stall`` action (serving-layer brownout)."""
+
+    def test_round_trips_through_json(self):
+        schedule = schedule_of(
+            FaultAction("shard-stall", at_write=500, requests=4, shard=1))
+        parsed = FaultSchedule.from_json(schedule.to_json())
+        assert parsed == schedule
+        assert parsed.actions[0].requests == 4
+
+    def test_request_count_is_validated(self):
+        with pytest.raises(ConfigurationError, match="requests >= 1"):
+            FaultAction("shard-stall", at_write=0, shard=0)
+        with pytest.raises(ConfigurationError, match="requests must be"):
+            FaultAction("fail-block", at_write=0, das=(1,), requests=-1)
+
+    def test_builder_projects_onto_its_shard_only(self):
+        schedule = shard_stall_schedule(1, at_write=200, requests=3)
+        mine = for_shard(schedule, 1).actions
+        assert len(mine) == 1 and mine[0].shard is None
+        assert mine[0].requests == 3
+        assert for_shard(schedule, 0).actions == ()
+
+    def test_engine_driver_treats_it_as_a_no_op(self):
+        controller, chip, wl, ospool = make_reviver_system(
+            check_invariants=False)
+        driver = attach(controller, schedule_of(
+            FaultAction("shard-stall", at_write=0, requests=2)))
+        thresholds_before = chip.ecc.thresholds.copy()
+        driver.poll(0)
+        # Recorded as applied (the serving layer interprets it), but the
+        # device underneath is untouched.
+        assert [a.kind for a in driver.applied] == ["shard-stall"]
+        assert (chip.ecc.thresholds == thresholds_before).all()
+        assert driver.spares_drained == 0
 
 
 class TestShardSchedules:
@@ -247,9 +285,9 @@ class TestForcedFailures:
 
 
 class TestTransientReadErrors:
-    def _system_with_written_block(self):
+    def _system_with_written_block(self, **controller_kwargs):
         controller, chip, wl, ospool = make_reviver_system(
-            check_invariants=False)
+            check_invariants=False, **controller_kwargs)
         expected = drive_random_writes(controller, 50)
         for vblock, tag in expected.items():
             da = wl.map(ospool.translate(vblock))
@@ -276,6 +314,38 @@ class TestTransientReadErrors:
         with pytest.raises(ProtocolError):
             controller.service_read(vblock)
         assert controller.transient_read_errors == READ_RETRY_LIMIT
+
+    def test_exhausted_retries_raise_structured_error(self):
+        from repro.errors import ReadRetriesExhausted
+
+        controller, vblock, tag, da = self._system_with_written_block()
+        driver = attach(controller, schedule_of(
+            FaultAction("read-error", at_write=0, da=da)))
+        driver.chip_hooks.arm_read_error(da, count=READ_RETRY_LIMIT + 1)
+        # Pre-fix this surfaced as a bare ProtocolError whose only payload
+        # was message text; the serving layer's retry/backoff path needs
+        # the address and spent budget as structured fields.
+        with pytest.raises(ReadRetriesExhausted) as excinfo:
+            controller.service_read(vblock)
+        assert excinfo.value.da == da
+        assert excinfo.value.attempts == READ_RETRY_LIMIT
+
+    def test_read_retry_budget_is_configurable(self):
+        from repro.errors import ReadRetriesExhausted
+
+        controller, vblock, tag, da = self._system_with_written_block(
+            read_retry_limit=2)
+        driver = attach(controller, schedule_of(
+            FaultAction("read-error", at_write=0, da=da)))
+        driver.chip_hooks.arm_read_error(da, count=3)
+        with pytest.raises(ReadRetriesExhausted) as excinfo:
+            controller.service_read(vblock)
+        assert excinfo.value.attempts == 2
+        assert controller.transient_read_errors == 2
+
+    def test_retry_budget_below_one_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="read_retry_limit"):
+            make_reviver_system(check_invariants=False, read_retry_limit=0)
 
 
 # ------------------------------------------------------- crash recovery

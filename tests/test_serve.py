@@ -1,0 +1,333 @@
+"""The online serving layer: admission, breakers, failover, determinism.
+
+The heavyweight properties (byte-identical runs across job counts, the
+zero-drop accounting identity under mid-traffic shard death) each run
+one small campaign; unit tests cover the circuit breaker's exact cycle
+and the degraded re-home rule directly.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ConfigurationError, ProtocolError
+from repro.faultinject import (FaultAction, FaultSchedule,
+                               shard_death_schedule, shard_stall_schedule)
+from repro.serve import (CircuitBreaker, OUTCOMES, Request, ServeConfig,
+                         ServiceEngine, build_report)
+
+
+def small_config(**overrides):
+    """A seconds-fast config; overrides land on top."""
+    base = dict(num_shards=2, shard_blocks=128, clients=4,
+                total_requests=300, think_ticks=2, seed=11)
+    base.update(overrides)
+    return ServeConfig(**base)
+
+
+def outcome_counts(result):
+    return {name: result.outcomes[name] for name in OUTCOMES}
+
+
+# --------------------------------------------------------------- breaker
+
+
+class TestCircuitBreaker:
+    def test_full_cycle_closed_open_halfopen_closed(self):
+        breaker = CircuitBreaker(threshold=3, cooldown=10)
+        assert breaker.admit(0) == "ok"
+        for tick in range(3):
+            breaker.record_failure(tick, probe=False)
+        assert breaker.state == "open"
+        assert breaker.opened == 1
+        # Open: fast-fail until the cooldown elapses.
+        assert breaker.admit(5) == "fast-fail"
+        # Half-open: exactly one probe is admitted; others fast-fail.
+        assert breaker.admit(12) == "probe"
+        assert breaker.state == "half-open"
+        assert breaker.admit(12) == "fast-fail"
+        breaker.record_success(probe=True)
+        assert breaker.state == "closed"
+        assert breaker.closed_after_probe == 1
+        assert breaker.admit(13) == "ok"
+
+    def test_probe_failure_reopens_a_full_cooldown(self):
+        breaker = CircuitBreaker(threshold=2, cooldown=8)
+        for tick in range(2):
+            breaker.record_failure(tick, probe=False)
+        assert breaker.admit(9) == "probe"
+        breaker.record_failure(9, probe=True)
+        assert breaker.state == "open"
+        assert breaker.opened == 2
+        assert breaker.admit(12) == "fast-fail"
+        assert breaker.admit(17) == "probe"
+
+    def test_success_resets_the_failure_streak(self):
+        breaker = CircuitBreaker(threshold=2, cooldown=4)
+        breaker.record_failure(0, probe=False)
+        breaker.record_success(probe=False)
+        breaker.record_failure(1, probe=False)
+        assert breaker.state == "closed"
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(threshold=0, cooldown=4)
+        with pytest.raises(ConfigurationError):
+            CircuitBreaker(threshold=1, cooldown=0)
+
+
+# ----------------------------------------------------------- determinism
+
+
+class TestDeterminism:
+    def test_same_seed_is_byte_identical(self):
+        config = small_config()
+        a = ServiceEngine(config).run()
+        b = ServiceEngine(config).run()
+        assert a.to_json() == b.to_json()
+
+    def test_different_seeds_differ(self):
+        a = ServiceEngine(small_config(seed=1)).run()
+        b = ServiceEngine(small_config(seed=2)).run()
+        assert a.to_json() != b.to_json()
+
+    def test_jobs_do_not_change_bytes_under_mid_traffic_death(self):
+        """The PR's pinned regression: merged telemetry and the SLO
+        report are byte-identical at --jobs 1 vs --jobs 2 while a shard
+        dies mid-traffic under the degraded policy."""
+        config = small_config(total_requests=500, clients=6)
+        schedule = shard_death_schedule(1, at_write=50,
+                                        num_blocks=config.shard_blocks)
+        serial = ServiceEngine(config, schedule).run(jobs=1)
+        pooled = ServiceEngine(config, schedule).run(jobs=2)
+        assert serial.outcomes["ok"] > 0
+        assert serial.report["resilience"]["deaths"] == 1
+        assert serial.to_json() == pooled.to_json()
+        assert json.dumps(serial.snapshot, sort_keys=True) == \
+            json.dumps(pooled.snapshot, sort_keys=True)
+
+
+# ------------------------------------------------- accounting & failover
+
+
+class TestAccounting:
+    def test_zero_drop_identity_under_death(self):
+        config = small_config(total_requests=400, clients=6)
+        schedule = shard_death_schedule(0, at_write=40,
+                                        num_blocks=config.shard_blocks)
+        result = ServiceEngine(config, schedule).run()
+        counts = outcome_counts(result)
+        assert sum(counts.values()) == config.total_requests
+        assert result.report["counts"]["issued"] == config.total_requests
+
+    def test_identity_violation_is_a_protocol_error(self):
+        engine = ServiceEngine(small_config(total_requests=10))
+        engine.issued = 3  # corrupt the books
+        with pytest.raises(ProtocolError, match="accounting"):
+            engine._check_identity()
+
+    def test_degraded_failover_keeps_serving(self):
+        config = small_config(total_requests=500, clients=6)
+        schedule = shard_death_schedule(1, at_write=50,
+                                        num_blocks=config.shard_blocks)
+        result = ServiceEngine(config, schedule).run()
+        resilience = result.report["resilience"]
+        assert resilience["deaths"] == 1
+        assert resilience["failover"] > 0
+        assert result.report["shards"]["live"] == 1
+        # No hard failures under degraded: displaced requests re-home.
+        assert result.outcomes["failed"] == 0
+        assert result.outcomes["ok"] > config.total_requests // 2
+        # The dead shard's gauge row records the death tick.
+        gauges = result.snapshot["gauges"]
+        assert gauges["serve.s1.alive"] == 0
+        assert gauges["serve.s1.died_at"] >= 0
+        assert gauges["serve.s0.alive"] == 1
+
+    def test_fail_stop_fails_dead_shard_traffic(self):
+        config = small_config(total_requests=400, clients=6,
+                              policy="fail-stop")
+        schedule = shard_death_schedule(1, at_write=40,
+                                        num_blocks=config.shard_blocks)
+        result = ServiceEngine(config, schedule).run()
+        assert result.outcomes["failed"] > 0
+        assert sum(outcome_counts(result).values()) == config.total_requests
+
+    def test_rehome_rule_matches_the_array_engine(self):
+        """Dead shard's local address l re-homes to live[l % len(live)],
+        keeping its local position — the ArrayEngine redistribution rule."""
+        config = ServeConfig(num_shards=3, shard_blocks=64, clients=1,
+                             total_requests=1, seed=3)
+        engine = ServiceEngine(config)
+        engine.stations[1].alive = False
+        live = [0, 2]
+        local = 5
+        address = int(engine.decoder.encode(1, local))
+        request = Request(rid=0, client=0, address=address, is_write=False,
+                          issued_at=0, deadline=100)
+        engine._route(request)
+        expected = live[local % len(live)]
+        assert request in engine.stations[expected].queue
+
+
+# ---------------------------------------------------- admission control
+
+
+class TestAdmission:
+    def test_shed_mode_rejects_on_full_queue(self):
+        config = small_config(total_requests=400, clients=16,
+                              queue_depth=1, batch_max=1, think_ticks=0,
+                              admission="shed", write_ticks=6,
+                              read_ticks=4)
+        result = ServiceEngine(config).run()
+        assert result.outcomes["shed"] > 0
+        assert sum(outcome_counts(result).values()) == config.total_requests
+
+    def test_block_mode_parks_instead_of_shedding(self):
+        config = small_config(total_requests=400, clients=16,
+                              queue_depth=1, batch_max=1, think_ticks=0,
+                              admission="block", write_ticks=6,
+                              read_ticks=4)
+        result = ServiceEngine(config).run()
+        assert result.outcomes["shed"] == 0
+        assert result.report["resilience"]["blocked"] > 0
+        assert sum(outcome_counts(result).values()) == config.total_requests
+
+    def test_tiny_deadline_is_enforced(self):
+        config = small_config(total_requests=300, clients=16,
+                              queue_depth=2, batch_max=1, think_ticks=0,
+                              admission="block", deadline_ticks=4,
+                              write_ticks=6, read_ticks=4)
+        result = ServiceEngine(config).run()
+        assert result.outcomes["deadline"] > 0
+        assert sum(outcome_counts(result).values()) == config.total_requests
+
+
+# ------------------------------------------------- stalls and breakers
+
+
+class TestBreakerIntegration:
+    def test_stall_trips_and_recovers_the_breaker(self):
+        config = small_config(total_requests=600, clients=8,
+                              breaker_threshold=3, breaker_cooldown=16)
+        schedule = shard_stall_schedule(0, at_write=30, requests=12)
+        result = ServiceEngine(config, schedule).run()
+        resilience = result.report["resilience"]
+        assert resilience["stalled"] == 12
+        assert resilience["breaker_opened"] >= 1
+        assert resilience["breaker_closed"] >= 1  # half-open probe healed
+        assert resilience["retries"] > 0
+        assert result.report["resilience"]["deaths"] == 0
+        assert sum(outcome_counts(result).values()) == config.total_requests
+
+    def test_bounded_retries_exhaust_into_errors(self):
+        config = small_config(total_requests=300, clients=4,
+                              retry_limit=2, deadline_ticks=5_000)
+        schedule = shard_stall_schedule(0, at_write=20, requests=40)
+        result = ServiceEngine(config, schedule).run()
+        assert result.outcomes["error"] > 0
+        assert result.report["resilience"]["retries_exhausted"] == \
+            result.outcomes["error"]
+        assert sum(outcome_counts(result).values()) == config.total_requests
+
+    def test_brownout_steers_writes_off_worn_shards(self):
+        config = small_config(total_requests=400, clients=4,
+                              mean_endurance=2.0, brownout_wear=0.5)
+        result = ServiceEngine(config).run()
+        assert result.report["resilience"]["steered"] > 0
+        assert result.outcomes["ok"] == config.total_requests
+
+
+# ------------------------------------------------------------ reporting
+
+
+class TestReporting:
+    def test_report_derives_from_snapshot_only(self):
+        config = small_config()
+        result = ServiceEngine(config).run()
+        assert build_report(result.snapshot, config) == result.report
+
+    def test_latency_quantiles_present_and_ordered(self):
+        result = ServiceEngine(small_config()).run()
+        for kind in ("read", "write"):
+            table = result.report["latency"][kind]
+            assert table["p50"] <= table["p95"] <= table["p99"]
+
+    def test_merged_latency_histogram_covers_all_ok_requests(self):
+        result = ServiceEngine(small_config()).run()
+        histograms = result.snapshot["histograms"]
+        total = sum(histograms[f"serve.latency.{kind}"]["total"]
+                    for kind in ("read", "write"))
+        assert total == result.outcomes["ok"]
+
+    def test_config_validation(self):
+        with pytest.raises(ConfigurationError):
+            ServeConfig(num_shards=0)
+        with pytest.raises(ConfigurationError):
+            ServeConfig(policy="explode")
+        with pytest.raises(ConfigurationError):
+            ServeConfig(admission="drop")
+        with pytest.raises(ConfigurationError):
+            ServeConfig(write_ratio=1.5)
+        with pytest.raises(ConfigurationError):
+            ServeConfig(retry_limit=0)
+
+
+# ------------------------------------------------------------------ CLI
+
+
+class TestCli:
+    def test_cli_kill_run_writes_slo_artifact(self, tmp_path, capsys):
+        from repro.serve.__main__ import main
+
+        out = tmp_path / "slo.json"
+        rc = main(["--shards", "2", "--shard-blocks", "128", "--clients",
+                   "4", "--requests", "300", "--kill-shard", "1",
+                   "--kill-at", "40", "--jobs", "2", "--json", str(out)])
+        assert rc == 0
+        printed = capsys.readouterr().out
+        assert "latency[read]" in printed and "deaths=1" in printed
+        payload = json.loads(out.read_text())
+        assert payload["report"]["resilience"]["deaths"] == 1
+        assert payload["report"]["counts"]["issued"] == 300
+
+    def test_cli_stall_run(self, capsys):
+        from repro.serve.__main__ import main
+
+        rc = main(["--shards", "2", "--shard-blocks", "128", "--clients",
+                   "4", "--requests", "300", "--stall-shard", "0",
+                   "--stall-at", "30", "--stall-requests", "8", "--quiet"])
+        assert rc == 0
+        assert capsys.readouterr().out == ""
+
+    def test_cli_rejects_bad_config(self, capsys):
+        from repro.serve.__main__ import main
+
+        rc = main(["--shards", "0"])
+        assert rc == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.serve", "--shards", "2",
+             "--shard-blocks", "64", "--clients", "2", "--requests", "60"],
+            capture_output=True, text=True)
+        assert proc.returncode == 0
+        assert "outcomes:" in proc.stdout
+
+    def test_custom_schedule_round_trips_into_the_engine(self):
+        """A hand-built mixed schedule drives both a stall and a death."""
+        config = small_config(total_requests=500, clients=6)
+        schedule = FaultSchedule(actions=(
+            FaultAction("shard-stall", at_write=20, requests=4, shard=0),
+            FaultAction("fail-block", at_write=60,
+                        das=tuple(range(config.shard_blocks)), shard=1),
+        ), seed=None, name="mixed")
+        parsed = FaultSchedule.from_json(schedule.to_json())
+        result = ServiceEngine(config, parsed).run()
+        assert result.report["resilience"]["deaths"] == 1
+        assert result.report["resilience"]["stalled"] >= 4
+        assert sum(outcome_counts(result).values()) == config.total_requests

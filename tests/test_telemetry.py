@@ -24,7 +24,9 @@ from repro.telemetry import (TelemetrySession, TraceWriter, attach_controller,
                              merge_snapshots, read_trace, run_meta,
                              timed_call)
 from repro.telemetry.metrics import (DEFAULT_BUCKETS, NULL_COUNTER,
-                                     NULL_GAUGE, NULL_HISTOGRAM, Registry)
+                                     NULL_GAUGE, NULL_HISTOGRAM, Registry,
+                                     SLO_QUANTILES, histogram_quantile,
+                                     quantile_label, snapshot_quantiles)
 from repro.telemetry.trace import (EVENT_KINDS, PROFILE_KIND, dumps, loads,
                                    profile_of)
 
@@ -478,6 +480,84 @@ def _write_sample_trace(path):
     return path
 
 
+def _hist_snap(bounds, counts, total=None, total_sum=0.0):
+    return {"bounds": list(bounds), "counts": list(counts),
+            "total": sum(counts) if total is None else total,
+            "sum": total_sum}
+
+
+class TestHistogramQuantiles:
+    def test_interpolates_within_a_bucket(self):
+        snap = _hist_snap((1.0, 2.0, 4.0), (1, 2, 1, 1))
+        # rank 2.5 of 5 lands 1.5 observations into the [1, 2) bucket.
+        assert histogram_quantile(snap, 0.5) == pytest.approx(1.75)
+
+    def test_q0_is_the_lower_edge_and_q1_clamps_to_last_bound(self):
+        snap = _hist_snap((1.0, 2.0, 4.0), (1, 2, 1, 1))
+        assert histogram_quantile(snap, 0.0) == 0.0
+        assert histogram_quantile(snap, 1.0) == 4.0
+
+    def test_empty_buckets_are_skipped(self):
+        snap = _hist_snap((1.0, 2.0, 4.0), (0, 2, 0, 0))
+        assert histogram_quantile(snap, 0.5) == pytest.approx(1.5)
+
+    def test_first_bucket_lower_edge_follows_a_negative_bound(self):
+        assert histogram_quantile(
+            _hist_snap((-2.0, 0.0), (2, 0, 0)), 0.5) == pytest.approx(-2.0)
+        assert histogram_quantile(
+            _hist_snap((2.0, 4.0), (2, 0, 0)), 0.5) == pytest.approx(1.0)
+
+    def test_quantile_out_of_range_is_rejected(self):
+        snap = _hist_snap((1.0,), (1, 0))
+        for bad in (-0.1, 1.5):
+            with pytest.raises(ConfigurationError, match="in \\[0, 1\\]"):
+                histogram_quantile(snap, bad)
+
+    def test_malformed_snapshots_are_rejected(self):
+        with pytest.raises(ConfigurationError, match="bucket counts"):
+            histogram_quantile(_hist_snap((1.0, 2.0), (1, 1)), 0.5)
+        with pytest.raises(ConfigurationError, match="empty"):
+            histogram_quantile(_hist_snap((1.0,), (0, 0)), 0.5)
+        with pytest.raises(ConfigurationError, match="list under 'bounds'"):
+            histogram_quantile({"bounds": 3, "counts": [1]}, 0.5)
+
+    def test_histogram_method_matches_module_function(self):
+        hist = Registry().histogram("lat", bounds=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.5, 3.0, 10.0):
+            hist.observe(value)
+        assert hist.quantile(0.5) == histogram_quantile(hist.snapshot(), 0.5)
+
+    def test_quantile_label(self):
+        assert [quantile_label(q) for q in SLO_QUANTILES] == \
+            ["p50", "p95", "p99"]
+        assert quantile_label(0.999) == "p99.9"
+
+    def test_snapshot_quantiles_skips_empty_histograms(self):
+        registry = Registry()
+        registry.histogram("empty", bounds=(1.0,))
+        registry.histogram("lat", bounds=(1.0, 2.0)).observe(0.5)
+        table = snapshot_quantiles(registry.snapshot())
+        assert set(table) == {"lat"}
+        assert set(table["lat"]) == {"p50", "p95", "p99"}
+
+    def test_snapshot_quantiles_rejects_non_mapping_histogram(self):
+        with pytest.raises(ConfigurationError, match="not a mapping"):
+            snapshot_quantiles({"histograms": {"x": 3}})
+
+    def test_merged_snapshot_quantiles_cover_the_union(self):
+        shard_a, shard_b = Registry(), Registry()
+        for value in (0.5, 1.5):
+            shard_a.histogram("lat", bounds=(1.0, 2.0, 4.0)).observe(value)
+        for value in (1.5, 3.0, 10.0):
+            shard_b.histogram("lat", bounds=(1.0, 2.0, 4.0)).observe(value)
+        merged = merge_snapshots(shard_a.snapshot(), shard_b.snapshot())
+        union = Registry()
+        for value in (0.5, 1.5, 1.5, 3.0, 10.0):
+            union.histogram("lat", bounds=(1.0, 2.0, 4.0)).observe(value)
+        assert snapshot_quantiles(merged) == \
+            snapshot_quantiles(union.snapshot())
+
+
 class TestCli:
     def test_summarize_text(self, tmp_path, capsys):
         from repro.telemetry.cli import main
@@ -530,6 +610,79 @@ class TestCli:
         assert not any("not-a-dict" in line for line in lines)
         assert any(line.startswith("bad-fields") for line in lines)
         assert lines[-1].startswith("total")
+
+    def test_summarize_snapshot_text(self, tmp_path, capsys):
+        from repro.telemetry.cli import main
+
+        snap = tmp_path / "snap.json"
+        snap.write_text(json.dumps({
+            "counters": {"serve.ok": 3}, "gauges": {"serve.depth": 2},
+            "histograms": {"lat": _hist_snap((1.0, 2.0, 4.0), (1, 2, 1, 1))},
+        }))
+        assert main(["summarize", str(snap)]) == 0
+        out = capsys.readouterr().out
+        assert "serve.ok" in out and "serve.depth" in out
+        assert "p99" in out and "1.750" in out
+
+    def test_summarize_unwraps_embedded_snapshot(self, tmp_path, capsys):
+        """A serve-style result file carries its snapshot under a key."""
+        from repro.telemetry.cli import main
+
+        result = tmp_path / "slo.json"
+        result.write_text(json.dumps({
+            "config": {"seed": 7}, "report": {"throughput": 1.0},
+            "snapshot": {
+                "counters": {"serve.ok": 9},
+                "histograms": {
+                    "lat": _hist_snap((1.0, 2.0, 4.0), (1, 2, 1, 1))},
+            },
+        }))
+        assert main(["summarize", str(result)]) == 0
+        out = capsys.readouterr().out
+        assert "serve.ok" in out and "p99" in out
+
+    def test_non_dict_embedded_snapshot_falls_through(self, tmp_path,
+                                                      capsys):
+        from repro.telemetry.cli import main
+
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text('{"snapshot": [1, 2]}')
+        assert main(["summarize", str(bogus)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_summarize_snapshot_json(self, tmp_path, capsys):
+        from repro.telemetry.cli import main
+
+        snap = tmp_path / "snap.json"
+        snap.write_text(json.dumps({
+            "histograms": {"lat": _hist_snap((1.0, 2.0, 4.0), (1, 2, 1, 1))},
+        }))
+        assert main(["summarize", str(snap), "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["quantiles"]["lat"]["p50"] == pytest.approx(1.75)
+        assert payload["snapshot"]["histograms"]["lat"]["total"] == 5
+
+    def test_summarize_snapshot_without_histograms(self, tmp_path, capsys):
+        from repro.telemetry.cli import main
+
+        snap = tmp_path / "snap.json"
+        snap.write_text(json.dumps({"counters": {"serve.ok": 3}}))
+        assert main(["summarize", str(snap)]) == 0
+        out = capsys.readouterr().out
+        assert "serve.ok" in out and "histograms:" not in out
+
+    def test_non_snapshot_json_falls_through_to_trace_reader(self, tmp_path,
+                                                             capsys):
+        from repro.telemetry.cli import main
+
+        # A JSON object with foreign keys, a non-dict section value, and a
+        # non-object document are all *not* snapshots; they hit the trace
+        # reader, which rejects them as malformed records (exit 2).
+        for text in ('{"foo": 1}', '{"counters": 5}', '[1, 2]', "{}"):
+            bad = tmp_path / "bad.json"
+            bad.write_text(text)
+            assert main(["summarize", str(bad)]) == 2
+            assert "error:" in capsys.readouterr().err
 
     def test_module_entry_point(self, tmp_path):
         import subprocess

@@ -9,6 +9,7 @@ from repro.errors import ConfigurationError
 from repro.traces import (
     BENCHMARKS,
     DistributionTrace,
+    RequestStream,
     benchmark_names,
     benchmark_trace,
     birthday_paradox_attack,
@@ -22,6 +23,7 @@ from repro.traces import (
     write_cov,
     write_trace_file,
     zipf_distribution,
+    zipf_request_stream,
 )
 from repro.traces.synthetic import mixture_cov, solve_hot_fraction
 
@@ -121,6 +123,56 @@ class TestDistributionTrace:
             DistributionTrace(np.array([0.5, -0.5]))
         with pytest.raises(ConfigurationError):
             DistributionTrace(np.zeros(4))
+
+
+class TestRequestStream:
+    def test_addresses_and_flags_in_range(self):
+        stream = zipf_request_stream(256, write_ratio=0.3, seed=5)
+        for _ in range(200):
+            address, is_write = stream.next_request()
+            assert 0 <= address < 256
+            assert isinstance(is_write, bool)
+
+    def test_reset_reproduces_the_stream(self):
+        stream = zipf_request_stream(256, write_ratio=0.5, seed=5)
+        first = [stream.next_request() for _ in range(100)]
+        stream.reset()
+        second = [stream.next_request() for _ in range(100)]
+        assert first == second
+
+    def test_same_seed_same_stream(self):
+        draws = []
+        for _ in range(2):
+            stream = zipf_request_stream(128, write_ratio=0.5, seed=9)
+            draws.append([stream.next_request() for _ in range(64)])
+        assert draws[0] == draws[1]
+
+    def test_write_ratio_extremes(self):
+        all_writes = zipf_request_stream(64, write_ratio=1.0, seed=1)
+        assert all(all_writes.next_request()[1] for _ in range(50))
+        no_writes = zipf_request_stream(64, write_ratio=0.0, seed=1)
+        assert not any(no_writes.next_request()[1] for _ in range(50))
+
+    def test_write_ratio_validation(self):
+        with pytest.raises(ConfigurationError):
+            zipf_request_stream(64, write_ratio=-0.1, seed=1)
+        with pytest.raises(ConfigurationError):
+            zipf_request_stream(64, write_ratio=1.5, seed=1)
+
+    def test_from_any_distribution_trace(self):
+        stream = hotspot_distribution(256, 4.0, seed=2).request_stream()
+        assert isinstance(stream, RequestStream)
+        address, _ = stream.next_request()
+        assert 0 <= address < 256
+
+    def test_skew_shows_in_address_concentration(self):
+        # Zipf ranks are spread over a seeded permutation, so skew shows
+        # up as concentration on few addresses, not as low-address mass.
+        from collections import Counter
+        stream = zipf_request_stream(1024, exponent=1.2, seed=4)
+        addresses = [stream.next_request()[0] for _ in range(2000)]
+        top = Counter(addresses).most_common(1)[0][1]
+        assert top > (2000 / 1024) * 10  # far above the uniform share
 
 
 class TestBenchmarks:

@@ -44,11 +44,13 @@ def _executable_lines(code: CodeType, lines: Set[int]) -> None:
 
 
 def _excluded_lines(source: str) -> Set[int]:
-    """Lines that are unreachable by design: ``if TYPE_CHECKING:`` bodies.
+    """Lines that are unreachable by design.
 
-    The guard line itself executes (and must be hit); only the import
-    block underneath it is typing-time-only, same as coverage.py's
-    conventional ``exclude_lines`` entry.
+    Two exclusions, both matching what pytest-cov applies in CI so the
+    two measurements agree: ``if TYPE_CHECKING:`` bodies (the guard line
+    itself executes and must be hit; only the import block underneath is
+    typing-time-only) and lines carrying coverage.py's conventional
+    ``# pragma: no cover`` marker.
     """
     excluded: Set[int] = set()
     for node in ast.walk(ast.parse(source)):
@@ -57,6 +59,9 @@ def _excluded_lines(source: str) -> Set[int]:
             for child in node.body:
                 end = child.end_lineno or child.lineno
                 excluded.update(range(child.lineno, end + 1))
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        if "# pragma: no cover" in text:
+            excluded.add(lineno)
     return excluded
 
 
