@@ -1,0 +1,71 @@
+"""Workload-suite throughput benchmark: record, replay, and amplify.
+
+The workload package sits on every experiment's request path, so its three
+hot loops get a timed pass at a realistic size (256K requests):
+
+* generator draw throughput (``zipf_workload(...).take``);
+* canonical-file round trip — ``record_workload`` then ``TraceReplay.load``
+  reparsing every line;
+* FTL replay — every host write walking the page-mapping/GC machinery.
+
+Each loop must clear a conservative floor (far below a healthy machine's
+rate) so a quadratic regression fails loudly while scheduler noise does
+not.
+"""
+
+import time
+
+from repro.workloads import (FTLConfig, PageMappingFTL, TraceReplay,
+                             record_workload, zipf_workload)
+
+REQUESTS = 256 * 1024
+BLOCKS = 4096
+
+# Floors in requests/second; tuned ~10x under a cold CI runner's rate.
+GENERATE_FLOOR = 500_000.0
+ROUND_TRIP_FLOOR = 50_000.0
+FTL_FLOOR = 5_000.0
+
+
+def _timed(fn):
+    started = time.perf_counter()
+    result = fn()
+    return result, time.perf_counter() - started
+
+
+def test_workload_pipeline_throughput(benchmark, once, capsys, tmp_path):
+    workload = zipf_workload(BLOCKS, requests=REQUESTS, seed=9,
+                             name="bench")
+    records, generate_s = _timed(lambda: workload.take(REQUESTS))
+
+    path = tmp_path / "bench.trace"
+
+    def round_trip():
+        record_workload(path, zipf_workload(BLOCKS, requests=REQUESTS,
+                                            seed=9, name="bench"),
+                        REQUESTS, epoch_requests=REQUESTS // 16)
+        return TraceReplay.load(path)
+
+    replay, round_trip_s = _timed(round_trip)
+
+    ftl = PageMappingFTL(FTLConfig(logical_pages=BLOCKS,
+                                   physical_blocks=BLOCKS // 64 + 8,
+                                   pages_per_block=64))
+    addresses = replay.records[:, 0]
+    _, ftl_s = once(benchmark, lambda: _timed(
+        lambda: ftl.replay(addresses, epoch_writes=REQUESTS // 16)))
+
+    rates = {"generate": REQUESTS / generate_s,
+             "round-trip": REQUESTS / round_trip_s,
+             "ftl-replay": REQUESTS / ftl_s}
+    with capsys.disabled():
+        print()
+        print(f"workloads {REQUESTS:,} requests: " +
+              ", ".join(f"{name} {rate:,.0f} req/s"
+                        for name, rate in rates.items()))
+
+    assert len(replay.records) == REQUESTS
+    assert ftl.host_writes > 0 and ftl.gc_writes > 0
+    assert rates["generate"] > GENERATE_FLOOR, rates
+    assert rates["round-trip"] > ROUND_TRIP_FLOOR, rates
+    assert rates["ftl-replay"] > FTL_FLOOR, rates

@@ -26,7 +26,7 @@ from .report import ArrayEndOfLifeReport, ShardCensus
 from .shard import deterministic_snapshot, run_shard_cell, shard_seed
 from .trace import SegmentedTrace
 from .workloads import (hotspot_workload, shard_attack_workload,
-                        uniform_workload, zipf_workload)
+                        trace_workload, uniform_workload, zipf_workload)
 
 __all__ = [
     "ARRAY_POLICIES",
@@ -43,6 +43,7 @@ __all__ = [
     "run_shard_cell",
     "shard_attack_workload",
     "shard_seed",
+    "trace_workload",
     "uniform_workload",
     "zipf_workload",
 ]

@@ -21,12 +21,13 @@ import json
 import sys
 from typing import List, Optional
 
+from ..errors import ConfigurationError, ReproError
 from ..faultinject import FaultSchedule, shard_death_schedule
 from ..traces import DistributionTrace
 from .engine import (ARRAY_POLICIES, ArrayConfig, ArrayEngine, ArrayResult)
-from .decoder import INTERLEAVE_MODES
+from .decoder import INTERLEAVE_MODES, InterleavedDecoder
 from .workloads import (hotspot_workload, shard_attack_workload,
-                        uniform_workload, zipf_workload)
+                        trace_workload, uniform_workload, zipf_workload)
 
 
 def _parser() -> argparse.ArgumentParser:
@@ -45,8 +46,13 @@ def _parser() -> argparse.ArgumentParser:
     parser.add_argument("--recovery", choices=("reviver", "none"),
                         default="reviver")
     parser.add_argument("--workload",
-                        choices=("uniform", "hotspot", "attack", "zipf"),
+                        choices=("uniform", "hotspot", "attack", "zipf",
+                                 "trace"),
                         default="hotspot")
+    parser.add_argument("--trace", type=str, default=None,
+                        help="recorded repro.workloads trace to replay "
+                             "(implies --workload trace); also prints "
+                             "the per-shard stream digests")
     parser.add_argument("--cov", type=float, default=3.0,
                         help="hotspot workload write CoV")
     parser.add_argument("--zipf-exponent", type=float, default=1.0,
@@ -77,13 +83,16 @@ def _parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _decoder(engine_config: ArrayConfig) -> InterleavedDecoder:
+    return InterleavedDecoder(engine_config.num_shards,
+                              engine_config.software_blocks,
+                              interleave=engine_config.interleave,
+                              page_blocks=engine_config.page_blocks)
+
+
 def _workload(args: argparse.Namespace,
               engine_config: ArrayConfig) -> DistributionTrace:
-    from .decoder import InterleavedDecoder
-    decoder = InterleavedDecoder(engine_config.num_shards,
-                                 engine_config.software_blocks,
-                                 interleave=engine_config.interleave,
-                                 page_blocks=engine_config.page_blocks)
+    decoder = _decoder(engine_config)
     if args.workload == "uniform":
         return uniform_workload(decoder, seed=args.seed)
     if args.workload == "attack":
@@ -93,7 +102,25 @@ def _workload(args: argparse.Namespace,
     if args.workload == "zipf":
         return zipf_workload(decoder, exponent=args.zipf_exponent,
                              seed=args.seed)
+    if args.workload == "trace":
+        if args.trace is None:
+            raise ConfigurationError("--workload trace needs --trace FILE")
+        return trace_workload(decoder, args.trace, seed=args.seed)
     return hotspot_workload(decoder, cov=args.cov, seed=args.seed)
+
+
+def trace_digest_lines(path: str, config: ArrayConfig) -> List[str]:
+    """Per-shard digests of a recorded trace under this array geometry.
+
+    This is the array's half of the serve/array equivalence pin: the
+    digests are computed from the file's records in file order, exactly
+    what the serving layer issues when replaying the same file.
+    """
+    from ..workloads import TraceReplay, shard_digests
+    replay = TraceReplay.load(path)
+    digests = shard_digests(replay.records[:, 0], _decoder(config))
+    return [f"  trace s{sid}: {digest}"
+            for sid, digest in digests.items()]
 
 
 def render(result: ArrayResult) -> str:
@@ -123,24 +150,33 @@ def render(result: ArrayResult) -> str:
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = _parser().parse_args(argv)
-    config = ArrayConfig(
-        num_shards=args.shards, shard_blocks=args.shard_blocks,
-        interleave=args.interleave, policy=args.policy,
-        page_blocks=args.page_blocks, mean_endurance=args.mean,
-        endurance_cov=args.endurance_cov, psi=args.psi,
-        recovery=args.recovery, dead_fraction=args.dead_fraction,
-        batch_writes=args.batch_writes, max_writes=args.max_writes,
-        telemetry=not args.no_telemetry, seed=args.seed)
+    if args.trace is not None:
+        args.workload = "trace"
     schedule: Optional[FaultSchedule] = None
     if args.kill_shard is not None:
         schedule = shard_death_schedule(args.kill_shard, args.kill_at,
                                         args.shard_blocks)
-    engine = ArrayEngine(config, _workload(args, config),
-                         label=f"array-{args.workload}", jobs=args.jobs,
-                         batch=args.batch, schedule=schedule)
-    result = engine.run()
+    try:
+        config = ArrayConfig(
+            num_shards=args.shards, shard_blocks=args.shard_blocks,
+            interleave=args.interleave, policy=args.policy,
+            page_blocks=args.page_blocks, mean_endurance=args.mean,
+            endurance_cov=args.endurance_cov, psi=args.psi,
+            recovery=args.recovery, dead_fraction=args.dead_fraction,
+            batch_writes=args.batch_writes, max_writes=args.max_writes,
+            telemetry=not args.no_telemetry, seed=args.seed)
+        engine = ArrayEngine(config, _workload(args, config),
+                             label=f"array-{args.workload}", jobs=args.jobs,
+                             batch=args.batch, schedule=schedule)
+        result = engine.run()
+    except ReproError as exc:  # repro: allow(EXC-SWALLOW): CLI boundary — a bad flag combination becomes exit code 2, not a traceback
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     if not args.quiet:
         print(render(result))
+        if args.trace is not None:
+            for line in trace_digest_lines(args.trace, config):
+                print(line)
     if args.json is not None:
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(result.as_dict(), handle, sort_keys=True)

@@ -47,6 +47,27 @@ def zipf_workload(decoder: InterleavedDecoder, exponent: float = 1.0,
                              seed=seed)
 
 
+def trace_workload(decoder: InterleavedDecoder, path: str,
+                   seed: SeedLike = None) -> DistributionTrace:
+    """Empirical write distribution of a recorded workload trace.
+
+    Loads a :mod:`repro.workloads` trace file and folds its *write*
+    records into per-block counts over the decoder's global space — the
+    stationary view the batch lifetime engines consume.  The trace must
+    cover exactly the decoded space: replaying a file against a
+    different geometry would silently re-route every address.
+    """
+    from ..workloads import TraceReplay  # local: avoid a package cycle
+    replay = TraceReplay.load(path)
+    if replay.virtual_blocks != decoder.global_blocks:
+        raise ConfigurationError(
+            f"trace covers {replay.virtual_blocks} blocks, the decoder "
+            f"decodes {decoder.global_blocks}")
+    counts = replay.write_distribution()
+    return DistributionTrace(counts.astype(np.float64),
+                             name=f"trace-{replay.name}", seed=seed)
+
+
 def shard_attack_workload(decoder: InterleavedDecoder, shard: int = 0,
                           hot_share: float = 0.9,
                           seed: SeedLike = None) -> DistributionTrace:

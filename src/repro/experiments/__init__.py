@@ -15,7 +15,7 @@ pure Python.
 """
 
 from . import (attacks, common, parallel, report, table1, fig5, fig6, fig7,
-               fig8, fig_array, table2)
+               fig8, fig_array, fig_wa, table2)
 
 EXPERIMENTS = {
     "table1": table1,
@@ -28,7 +28,10 @@ EXPERIMENTS = {
     "attacks": attacks,
     # Beyond the paper: shard-array scaling on top of the single-chip stack.
     "fig_array": fig_array,
+    # Beyond the paper: reviver gain under FTL write amplification.
+    "fig_wa": fig_wa,
 }
 
 __all__ = ["EXPERIMENTS", "attacks", "common", "parallel", "report",
-           "table1", "fig5", "fig6", "fig7", "fig8", "fig_array", "table2"]
+           "table1", "fig5", "fig6", "fig7", "fig8", "fig_array", "fig_wa",
+           "table2"]

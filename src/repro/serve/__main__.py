@@ -44,6 +44,9 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--requests", type=int, default=2_000)
     parser.add_argument("--workload", choices=SERVE_WORKLOADS,
                         default="zipf")
+    parser.add_argument("--trace", type=str, default=None,
+                        help="recorded repro.workloads trace to replay "
+                             "(implies --workload trace)")
     parser.add_argument("--zipf-exponent", type=float, default=1.0)
     parser.add_argument("--write-ratio", type=float, default=0.5)
     parser.add_argument("--arrival", choices=ARRIVAL_PROCESSES,
@@ -96,6 +99,9 @@ def config_of(args: argparse.Namespace) -> ServeConfig:
         mean_endurance=args.mean_endurance, seed=args.seed)
     if args.retry_limit is not None:
         kwargs["retry_limit"] = args.retry_limit
+    if args.trace is not None:
+        kwargs["workload"] = "trace"
+        kwargs["trace_path"] = args.trace
     return ServeConfig(**kwargs)
 
 

@@ -12,7 +12,7 @@ hot path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, Tuple
+from typing import Any, Dict, Optional, Tuple
 
 from ..array.decoder import INTERLEAVE_MODES
 from ..errors import ConfigurationError
@@ -32,8 +32,11 @@ ADMISSION_MODES: Tuple[str, ...] = ("shed", "block")
 #: next request of a closed-loop client).
 ARRIVAL_PROCESSES: Tuple[str, ...] = ("uniform", "poisson")
 
-#: Client address/read-write workloads.
-SERVE_WORKLOADS: Tuple[str, ...] = ("zipf", "uniform")
+#: Client address/read-write workloads.  ``trace`` replays a recorded
+#: :mod:`repro.workloads` trace file in file order (clients share one
+#: cursor), so the same file drives the service and the batch array with
+#: identical per-shard address streams.
+SERVE_WORKLOADS: Tuple[str, ...] = ("zipf", "uniform", "trace")
 
 #: Default latency histogram bounds, in virtual ticks (geometric, so the
 #: p99 of a few-hundred-tick service keeps sub-bucket resolution).
@@ -60,6 +63,8 @@ class ServeConfig:
     clients: int = 8
     total_requests: int = 2_000
     workload: str = "zipf"
+    #: Recorded trace to replay when ``workload == "trace"``.
+    trace_path: Optional[str] = None
     zipf_exponent: float = 1.0
     write_ratio: float = 0.5
     arrival: str = "poisson"
@@ -116,6 +121,9 @@ class ServeConfig:
             raise ConfigurationError(
                 f"workload must be one of {SERVE_WORKLOADS}, "
                 f"got {self.workload!r}")
+        if self.workload == "trace" and self.trace_path is None:
+            raise ConfigurationError(
+                "workload 'trace' needs trace_path")
         if not 0.0 <= self.write_ratio <= 1.0:
             raise ConfigurationError("write_ratio must be in [0, 1]")
         if self.arrival not in ARRIVAL_PROCESSES:

@@ -30,14 +30,14 @@ import json
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
-import numpy as np
-
 from ..array.decoder import InterleavedDecoder
-from ..errors import ProtocolError
+from ..errors import ConfigurationError, ProtocolError
 from ..faultinject import FaultSchedule
 from ..rng import derive_rng
 from ..telemetry import TelemetrySession
-from ..traces import DistributionTrace, RequestStream, zipf_distribution
+from ..traces import RequestStream
+from ..workloads import (TraceReplay, uniform_request_stream,
+                         zipf_request_stream)
 from .account import assemble_snapshots
 from .config import ServeConfig
 from .report import build_report
@@ -96,26 +96,50 @@ class ServiceEngine:
         self.outcomes: Dict[str, int] = {o: 0 for o in OUTCOMES}
         self._events: List[Tuple[int, int, int, Any]] = []
         self._seq = 0
-        self._streams = [self._client_stream(c)
-                         for c in range(config.clients)]
+        #: Every issued request as ``(address, is_write)``, in issue
+        #: order — the serving side of the per-shard trace-equivalence
+        #: pin (not part of :class:`ServiceResult`).
+        self.issue_log: List[Tuple[int, int]] = []
+        if config.workload == "trace":
+            replay = self._trace_replay()
+            self._streams: List[Any] = [replay] * config.clients
+        else:
+            self._streams = [self._client_stream(c)
+                             for c in range(config.clients)]
         self._think_rngs = [derive_rng(config.seed, f"serve-think-{c}")
                             for c in range(config.clients)]
 
     # --------------------------------------------------------------- set-up
 
     def _client_stream(self, client: int) -> RequestStream:
+        """Per-client stream, built from the shared workload vocabulary.
+
+        Both builders live in :mod:`repro.workloads`; the distribution
+        identity is ``("serve", config.seed)`` and each client draws its
+        own ``serve-client-<c>`` stream from it.
+        """
         config = self.config
         if config.workload == "zipf":
-            trace = zipf_distribution(config.global_blocks,
-                                      exponent=config.zipf_exponent,
-                                      name="serve", seed=config.seed)
-        else:
-            size = config.global_blocks
-            trace = DistributionTrace(np.full(size, 1.0 / size),
-                                      name="serve", seed=config.seed)
-        return trace.request_stream(write_ratio=config.write_ratio,
-                                    name=f"serve-client-{client}",
-                                    seed=config.seed)
+            return zipf_request_stream(
+                config.global_blocks, exponent=config.zipf_exponent,
+                write_ratio=config.write_ratio, name="serve",
+                seed=config.seed, stream_name=f"serve-client-{client}")
+        return uniform_request_stream(
+            config.global_blocks, write_ratio=config.write_ratio,
+            name="serve", seed=config.seed,
+            stream_name=f"serve-client-{client}")
+
+    def _trace_replay(self) -> TraceReplay:
+        """One shared file cursor for every client: requests are issued
+        in file order no matter which client's think timer fires, so the
+        per-shard routing sequence equals the file's decode order."""
+        assert self.config.trace_path is not None  # validated by config
+        replay = TraceReplay.load(self.config.trace_path)
+        if replay.virtual_blocks != self.config.global_blocks:
+            raise ConfigurationError(
+                f"trace covers {replay.virtual_blocks} blocks, the array "
+                f"decodes {self.config.global_blocks}")
+        return replay
 
     def _push(self, tick: int, kind: int, payload: Any) -> None:
         heapq.heappush(self._events, (tick, self._seq, kind, payload))
@@ -182,6 +206,7 @@ class ServiceEngine:
         if self.issued >= self.config.total_requests:
             return  # quota reached while this client was thinking
         address, is_write = self._streams[client].next_request()
+        self.issue_log.append((address, int(is_write)))
         request = Request(rid=self.issued, client=client, address=address,
                           is_write=is_write, issued_at=self.now,
                           deadline=self.now + self.config.deadline_ticks)

@@ -39,6 +39,7 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
     from ..reviver.reviver import WLReviver
     from ..sim.engine import ExactEngine
     from ..sim.fast import FastEngine
+    from ..workloads.ftl import PageMappingFTL
 
 
 def attach_reporter(session: TelemetrySession,
@@ -84,6 +85,13 @@ def attach_fast(session: TelemetrySession,
     return session
 
 
+def attach_ftl(session: TelemetrySession,
+               ftl: "PageMappingFTL") -> TelemetrySession:
+    """Instrument an FTL (write-amplification counters and WA gauges)."""
+    ftl.telem = session
+    return session
+
+
 __all__ = [
     "Counter", "Gauge", "Histogram", "Registry", "SLO_QUANTILES",
     "histogram_quantile", "merge_snapshots", "quantile_label",
@@ -92,5 +100,5 @@ __all__ = [
     "timed_call", "EVENT_KINDS", "META_KIND", "PROFILE_KIND", "census",
     "diff_traces", "read_trace", "run_meta",
     "attach_reporter", "attach_reviver", "attach_controller",
-    "attach_exact", "attach_fast",
+    "attach_exact", "attach_fast", "attach_ftl",
 ]

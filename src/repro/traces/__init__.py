@@ -24,7 +24,7 @@ from .synthetic import (
 )
 from .benchmarks import BENCHMARKS, BenchmarkSpec, benchmark_trace, benchmark_names
 from .attacks import birthday_paradox_attack, hammer_attack, sequential_sweep
-from .fileio import write_trace_file, read_trace_file
+from .fileio import FileTrace, write_trace_file, read_trace_file
 from .stats import write_cov, counts_cov, distribution_cov
 
 __all__ = [
@@ -33,6 +33,6 @@ __all__ = [
     "zipf_request_stream", "solve_hot_fraction",
     "BENCHMARKS", "BenchmarkSpec", "benchmark_trace", "benchmark_names",
     "birthday_paradox_attack", "hammer_attack", "sequential_sweep",
-    "write_trace_file", "read_trace_file",
+    "FileTrace", "write_trace_file", "read_trace_file",
     "write_cov", "counts_cov", "distribution_cov",
 ]

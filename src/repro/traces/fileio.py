@@ -85,3 +85,16 @@ class FileTrace(WriteTrace):
 
     def reset(self) -> None:
         self._cursor = 0
+
+    def restricted_to(self, virtual_blocks: int) -> "FileTrace":
+        """Fold the stream onto a smaller virtual space.
+
+        The stream analogue of
+        :meth:`~repro.traces.base.DistributionTrace.restricted_to`:
+        addresses wrap modulo the smaller space, preserving the stream's
+        temporal structure while every request stays in range.
+        """
+        if virtual_blocks >= self.virtual_blocks:
+            return self
+        return FileTrace(self.addresses % virtual_blocks, virtual_blocks,
+                         name=f"{self.name}-folded")

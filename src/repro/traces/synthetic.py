@@ -185,7 +185,8 @@ def zipf_request_stream(virtual_blocks: int, exponent: float = 1.0,
                         write_ratio: float = 0.5,
                         target_cov: Optional[float] = None,
                         name: str = "zipf",
-                        seed: SeedLike = None) -> RequestStream:
+                        seed: SeedLike = None,
+                        stream_name: Optional[str] = None) -> RequestStream:
     """Zipf-popularity request stream with a read/write mix.
 
     The address law is exactly :func:`zipf_distribution` (same arguments,
@@ -194,7 +195,11 @@ def zipf_request_stream(virtual_blocks: int, exponent: float = 1.0,
     workload of the online serving layer: web- and KV-store traffic is
     classically Zipf-popular, and the skew concentrates both queueing and
     wear on the shards owning the head of the ranking.
+
+    *stream_name* names the per-consumer draw stream independently of the
+    distribution identity, so several consumers (the serving layer's
+    clients) can share one address law while drawing disjoint streams.
     """
     trace = zipf_distribution(virtual_blocks, exponent=exponent,
                               target_cov=target_cov, name=name, seed=seed)
-    return trace.request_stream(write_ratio=write_ratio)
+    return trace.request_stream(write_ratio=write_ratio, name=stream_name)

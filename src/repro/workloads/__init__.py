@@ -1,0 +1,44 @@
+"""Unified workload package: generators, trace files, shards, FTL/WA.
+
+One vocabulary of storage traffic consumed by both stacks:
+
+* :mod:`~repro.workloads.generators` — composable deterministic
+  request generators (Zipf, uniform, sequential, phase-shifting
+  hotspots, per-phase read/write mixes) built on ``derive_rng`` streams;
+* :mod:`~repro.workloads.tracefile` — the canonical on-disk trace
+  format with an epoch-seekable streaming reader, a recorder freezing
+  any generator to disk, and a wrap-around replayer;
+* :mod:`~repro.workloads.shards` — per-shard projections and digests,
+  the equivalence surface between ``repro.serve`` and ``repro.array``;
+* :mod:`~repro.workloads.ftl` — a page-mapping FTL with greedy /
+  cost-benefit garbage collection whose write-amplification accounting
+  feeds the ``fig_wa`` experiment through telemetry.
+
+The request-stream builders the serving layer uses
+(:func:`zipf_request_stream`, :func:`uniform_request_stream`) live here
+as the single implementation — ``repro.serve`` imports them.
+
+CLI: ``python -m repro.workloads {generate,record,replay,describe}``.
+"""
+
+from ..traces import zipf_request_stream
+from .ftl import FTLConfig, GC_POLICIES, PageMappingFTL
+from .generators import (CHUNK, Phase, PhasedWorkload, SequentialWorkload,
+                         Workload, phase_shifting_hotspot,
+                         sequential_workload, uniform_request_stream,
+                         uniform_workload, zipf_workload)
+from .shards import per_shard_streams, shard_digests, stream_digest
+from .tracefile import (TraceMeta, TraceReader, TraceReplay,
+                        canonical_bytes, check_canonical, read_meta,
+                        record_workload, write_records)
+
+__all__ = [
+    "CHUNK", "Phase", "Workload", "PhasedWorkload", "SequentialWorkload",
+    "uniform_workload", "zipf_workload", "sequential_workload",
+    "phase_shifting_hotspot", "uniform_request_stream",
+    "zipf_request_stream",
+    "TraceMeta", "TraceReader", "TraceReplay", "canonical_bytes",
+    "check_canonical", "read_meta", "record_workload", "write_records",
+    "per_shard_streams", "shard_digests", "stream_digest",
+    "FTLConfig", "GC_POLICIES", "PageMappingFTL",
+]

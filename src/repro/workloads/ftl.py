@@ -1,0 +1,250 @@
+"""Page-mapping FTL with GC write-amplification accounting.
+
+Models the indirection layer of Dayan's "Garbage Collection Techniques
+for Flash-Resident Page-Mapping FTLs" (arXiv:1504.01666): logical pages
+map through an L2P table onto physical pages grouped into erase blocks;
+programs go to a sequentially-filled *active* block, updates invalidate
+the old physical page in place, and when the free-block pool runs low a
+victim block is collected — its still-valid pages are rewritten to the
+frontier (the *GC writes*) and the block is erased back into the pool.
+
+Two victim selectors from the paper:
+
+``greedy``
+    minimum valid count (most reclaimed space per erase), ties to the
+    lowest block id;
+``cost-benefit``
+    maximize ``age * (1 - u) / (2u)`` where ``u`` is the victim's valid
+    fraction and ``age`` is measured in *host writes* since the block
+    was last programmed — hot blocks get time to self-invalidate.  No
+    wall clock: the host-write counter is the only clock.
+
+Accounting is the point: ``host_writes`` and ``gc_writes`` are kept
+separate (the telemetry counter pair ``wa.host_writes`` /
+``wa.gc_writes``), the ratio ``(host + gc) / host`` is the write
+amplification the reviver-overhead experiment (``fig_wa``) sweeps, and
+:meth:`PageMappingFTL.note_epoch` folds a per-epoch WA series into an
+attached :class:`~repro.telemetry.TelemetrySession`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import ConfigurationError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from ..telemetry import TelemetrySession
+
+#: Victim-selection policies (Dayan §2).
+GC_POLICIES: Tuple[str, ...] = ("greedy", "cost-benefit")
+
+
+@dataclass(frozen=True)
+class FTLConfig:
+    """Geometry and policy of one FTL instance."""
+
+    logical_pages: int
+    physical_blocks: int
+    pages_per_block: int = 64
+    gc_policy: str = "greedy"
+    #: Collect until at least this many blocks are free again; programs
+    #: trigger collection when the pool falls below it.
+    gc_free_blocks: int = 2
+
+    def __post_init__(self) -> None:
+        if self.logical_pages < 1:
+            raise ConfigurationError("logical_pages must be positive")
+        if self.physical_blocks < 2:
+            raise ConfigurationError("need >= 2 physical blocks")
+        if self.pages_per_block < 1:
+            raise ConfigurationError("pages_per_block must be positive")
+        if self.gc_policy not in GC_POLICIES:
+            raise ConfigurationError(
+                f"gc_policy must be one of {GC_POLICIES}, "
+                f"got {self.gc_policy!r}")
+        # >= 2 so at least one free block remains to absorb the frontier
+        # advancing mid-collection (relocations consume frontier slots).
+        if self.gc_free_blocks < 2:
+            raise ConfigurationError("gc_free_blocks must be >= 2")
+        # Over-provisioning floor: even with every logical page valid,
+        # the active frontier plus the free floor must fit — otherwise a
+        # victim can be fully valid and collection cannot progress.
+        spare = (self.gc_free_blocks + 1) * self.pages_per_block
+        if self.physical_pages < self.logical_pages + spare:
+            raise ConfigurationError(
+                f"insufficient over-provisioning: {self.physical_pages} "
+                f"physical pages cannot hold {self.logical_pages} logical "
+                f"pages plus {spare} spare")
+
+    @property
+    def physical_pages(self) -> int:
+        """Total physical page slots."""
+        return self.physical_blocks * self.pages_per_block
+
+    @property
+    def over_provisioning(self) -> float:
+        """Spare fraction: physical capacity beyond the logical space."""
+        return self.physical_pages / self.logical_pages - 1.0
+
+
+class PageMappingFTL:
+    """The indirection layer: L2P table, active frontier, GC, accounting."""
+
+    def __init__(self, config: FTLConfig) -> None:
+        self.config = config
+        #: Telemetry hook (``None`` = disabled); wire it through
+        #: :func:`repro.telemetry.attach_ftl`, never by hand.
+        self.telem: Optional["TelemetrySession"] = None
+        self.l2p = np.full(config.logical_pages, -1, dtype=np.int64)
+        self.p2l = np.full(config.physical_pages, -1, dtype=np.int64)
+        self.valid = np.zeros(config.physical_blocks, dtype=np.int64)
+        #: Host-write stamp of each block's last program (cost-benefit age).
+        self.stamp = np.zeros(config.physical_blocks, dtype=np.int64)
+        self.erase_count = np.zeros(config.physical_blocks, dtype=np.int64)
+        self._free: Deque[int] = deque(range(1, config.physical_blocks))
+        self._active = 0
+        self._slot = 0
+        self.host_writes = 0
+        self.gc_writes = 0
+        self.erases = 0
+        #: Physical page of every program, in program order — the
+        #: amplified stream the lifetime simulations replay.
+        self.programmed: List[int] = []
+        #: Per-epoch WA rows appended by :meth:`note_epoch`.
+        self.epoch_series: List[Dict[str, float]] = []
+        self._noted_host = 0
+        self._noted_gc = 0
+        self._noted_erases = 0
+
+    # ------------------------------------------------------------ writing
+
+    def host_write(self, lpage: int) -> int:
+        """One host program of logical page *lpage*; returns its physical
+        page.  GC this write provokes is charged to ``gc_writes``."""
+        if not 0 <= lpage < self.config.logical_pages:
+            raise ConfigurationError(
+                f"logical page {lpage} out of range "
+                f"[0, {self.config.logical_pages})")
+        self.host_writes += 1
+        page = self._program(lpage)
+        if len(self._free) < self.config.gc_free_blocks:
+            self._collect()
+        return page
+
+    def replay(self, addresses: np.ndarray,
+               epoch_writes: Optional[int] = None) -> np.ndarray:
+        """Push a host address stream through; returns the physical
+        program stream (host programs and GC relocations interleaved in
+        issue order).  With *epoch_writes*, :meth:`note_epoch` fires on
+        every epoch boundary of the *host* stream."""
+        if epoch_writes is not None and epoch_writes < 1:
+            raise ConfigurationError("epoch_writes must be positive")
+        mark = len(self.programmed)
+        for index, address in enumerate(np.asarray(addresses,
+                                                   dtype=np.int64)):
+            self.host_write(int(address))
+            if epoch_writes is not None \
+                    and (index + 1) % epoch_writes == 0:
+                self.note_epoch()
+        return np.asarray(self.programmed[mark:], dtype=np.int64)
+
+    def _program(self, lpage: int) -> int:
+        old = int(self.l2p[lpage])
+        if old >= 0:
+            self.p2l[old] = -1
+            self.valid[old // self.config.pages_per_block] -= 1
+        page = self._active * self.config.pages_per_block + self._slot
+        self.l2p[lpage] = page
+        self.p2l[page] = lpage
+        self.valid[self._active] += 1
+        self.stamp[self._active] = self.host_writes
+        self.programmed.append(page)
+        self._slot += 1
+        if self._slot == self.config.pages_per_block:
+            self._active = self._free.popleft()
+            self._slot = 0
+        return page
+
+    # ----------------------------------------------------------------- GC
+
+    def _candidates(self) -> List[int]:
+        # Fully-valid blocks are excluded: erasing one reclaims nothing,
+        # and the over-provisioning floor guarantees a partial block
+        # always exists — so every erase nets at least one free slot.
+        free = set(self._free)
+        return [b for b in range(self.config.physical_blocks)
+                if b != self._active and b not in free
+                and self.valid[b] < self.config.pages_per_block]
+
+    def _victim(self) -> int:
+        candidates = self._candidates()
+        if self.config.gc_policy == "greedy":
+            return min(candidates,
+                       key=lambda b: (int(self.valid[b]), b))
+        ppb = self.config.pages_per_block
+
+        def benefit(b: int) -> float:
+            live = int(self.valid[b])
+            if live == 0:
+                return float("inf")
+            u = live / ppb
+            age = float(self.host_writes - self.stamp[b])
+            return age * (1.0 - u) / (2.0 * u)
+
+        return min(candidates, key=lambda b: (-benefit(b), b))
+
+    def _collect(self) -> None:
+        """Erase victims until the free pool is back at its floor."""
+        while len(self._free) < self.config.gc_free_blocks:
+            victim = self._victim()
+            base = victim * self.config.pages_per_block
+            for slot in range(self.config.pages_per_block):
+                lpage = int(self.p2l[base + slot])
+                if lpage >= 0:
+                    self.gc_writes += 1
+                    self._program(lpage)
+            self.valid[victim] = 0
+            self.erase_count[victim] += 1
+            self.erases += 1
+            self._free.append(victim)
+
+    # ---------------------------------------------------------- accounting
+
+    def wa_ratio(self) -> float:
+        """Write amplification: total programs per host program."""
+        if self.host_writes == 0:
+            return 1.0
+        return (self.host_writes + self.gc_writes) / self.host_writes
+
+    def note_epoch(self) -> Dict[str, float]:
+        """Close one accounting epoch: series row + telemetry deltas."""
+        host_delta = self.host_writes - self._noted_host
+        gc_delta = self.gc_writes - self._noted_gc
+        erase_delta = self.erases - self._noted_erases
+        self._noted_host = self.host_writes
+        self._noted_gc = self.gc_writes
+        self._noted_erases = self.erases
+        epoch_ratio = ((host_delta + gc_delta) / host_delta
+                       if host_delta else 1.0)
+        row = {"epoch": float(len(self.epoch_series)),
+               "host_writes": float(host_delta),
+               "gc_writes": float(gc_delta),
+               "ratio": epoch_ratio}
+        self.epoch_series.append(row)
+        if self.telem is not None:
+            self.telem.count("wa.host_writes", host_delta)
+            self.telem.count("wa.gc_writes", gc_delta)
+            self.telem.count("wa.erases", erase_delta)
+            self.telem.set_gauge("wa.ratio", self.wa_ratio())
+            self.telem.observe("wa.epoch_ratio", epoch_ratio,
+                               bounds=(1.0, 1.25, 1.5, 2.0, 3.0, 5.0,
+                                       8.0, 16.0))
+        return row
+
+
+__all__ = ["GC_POLICIES", "FTLConfig", "PageMappingFTL"]

@@ -1,0 +1,56 @@
+"""Per-shard projections of a global request stream.
+
+The acceptance surface of the trace path: one stored trace must drive
+the online service and the batch array with **byte-identical per-shard
+address sequences**.  These helpers compute that sequence — the ordered
+shard-local addresses a decoder routes to each shard — and a stable
+digest of it, so the two stacks can be compared without shipping the
+streams around.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, List
+
+import numpy as np
+
+from ..array.decoder import InterleavedDecoder
+from ..errors import ConfigurationError
+
+
+def per_shard_streams(addresses: np.ndarray,
+                      decoder: InterleavedDecoder) -> List[np.ndarray]:
+    """Ordered shard-local address sequence each shard receives.
+
+    *addresses* is the global stream in arrival order; entry ``s`` of
+    the result is the sub-sequence of shard-local addresses decoding to
+    shard ``s``, preserving arrival order.
+    """
+    addresses = np.asarray(addresses, dtype=np.int64)
+    if addresses.ndim != 1:
+        raise ConfigurationError("addresses must be a 1-d sequence")
+    if len(addresses) and (addresses.min() < 0 or
+                           int(addresses.max()) >= decoder.global_blocks):
+        raise ConfigurationError(
+            "address exceeds the decoder's global space")
+    shards = decoder.shard_of(addresses)
+    locals_ = decoder.local_of(addresses)
+    return [locals_[shards == sid] for sid in range(decoder.num_shards)]
+
+
+def stream_digest(addresses: np.ndarray) -> str:
+    """SHA-256 over the little-endian int64 bytes of a sequence."""
+    addresses = np.asarray(addresses, dtype=np.int64)
+    return hashlib.sha256(addresses.astype("<i8").tobytes()).hexdigest()
+
+
+def shard_digests(addresses: np.ndarray,
+                  decoder: InterleavedDecoder) -> Dict[int, str]:
+    """Per-shard digest table of a global stream under *decoder*."""
+    return {sid: stream_digest(stream)
+            for sid, stream in enumerate(per_shard_streams(addresses,
+                                                           decoder))}
+
+
+__all__ = ["per_shard_streams", "stream_digest", "shard_digests"]

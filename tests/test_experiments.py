@@ -12,6 +12,7 @@ from repro.experiments import (
     fig7,
     fig8,
     fig_array,
+    fig_wa,
     table1,
     table2,
 )
@@ -243,6 +244,46 @@ class TestFigArray:
             fig_array.run(scale="tiny", benchmarks=["no-such-workload"])
 
 
+class TestFigWA:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return fig_wa.run(scale="tiny", benchmarks=["uniform", "zipf"],
+                          policies=["greedy"], seed=3)
+
+    def test_amplification_is_accounted(self, result):
+        table = fig_wa.as_dict(result)
+        for workload in ("uniform", "zipf"):
+            row = table[workload]["greedy"]
+            assert row["wa_ratio"] > 1.0
+            assert row["wa_ratio"] == pytest.approx(
+                (row["host_writes"] + row["gc_writes"])
+                / row["host_writes"])
+            assert row["erases"] > 0
+
+    def test_uniform_amplifies_more_than_zipf(self, result):
+        # Skewed overwrites self-invalidate hot blocks; uniform traffic
+        # leaves victims half-valid and pays more relocation.
+        table = fig_wa.as_dict(result)
+        assert table["uniform"]["greedy"]["wa_ratio"] > \
+            table["zipf"]["greedy"]["wa_ratio"]
+
+    def test_reviver_still_wins_under_amplification(self, result):
+        for row in result.rows:
+            assert row.lifetime_reviver >= row.lifetime_none
+            assert row.gain >= 1.0
+
+    def test_render_and_dict(self, result):
+        text = fig_wa.render(result)
+        assert "write amplification" in text
+        assert "greedy" in text
+        assert set(fig_wa.as_dict(result)) == {"uniform", "zipf"}
+
+    def test_bad_policy_is_rejected(self):
+        with pytest.raises(ConfigurationError):
+            fig_wa.run(scale="tiny", benchmarks=["uniform"],
+                       policies=["lru"], seed=3)
+
+
 class TestCLI:
     def test_parser_choices(self):
         parser = build_parser()
@@ -257,4 +298,4 @@ class TestCLI:
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {"table1", "fig5", "fig6", "fig7",
                                     "fig8", "table2", "attacks",
-                                    "fig_array"}
+                                    "fig_array", "fig_wa"}

@@ -331,3 +331,46 @@ class TestCli:
         assert result.report["resilience"]["deaths"] == 1
         assert result.report["resilience"]["stalled"] >= 4
         assert sum(outcome_counts(result).values()) == config.total_requests
+
+
+# ----------------------------------------------- workload-package dedupe
+
+
+class TestWorkloadPackageDedupe:
+    """The client streams now come from ``repro.workloads``; these pins
+    prove the dedupe kept the served behavior byte-identical (hashes
+    recorded from the pre-refactor engine)."""
+
+    PINS = {
+        "zipf": ("b05ed60ead7efee49140783b2deb1c897"
+                 "3d87e359f9aaf11ca71888d1f77b164"),
+        "uniform": ("51d8629df97bb8c8a8ea2e7e58b609f5"
+                    "9735503e268ca67c9c75a5588f9f4c81"),
+    }
+
+    @staticmethod
+    def behavior_hash(result):
+        import hashlib
+        payload = {"snapshot": result.snapshot, "report": result.report,
+                   "duration": result.duration,
+                   "outcomes": result.outcomes}
+        blob = json.dumps(payload, sort_keys=True).encode()
+        return hashlib.sha256(blob).hexdigest()
+
+    def test_zipf_behavior_is_pinned(self):
+        result = ServiceEngine(small_config()).run()
+        assert self.behavior_hash(result) == self.PINS["zipf"]
+
+    def test_uniform_behavior_is_pinned(self):
+        config = ServeConfig(num_shards=4, shard_blocks=256, clients=6,
+                             total_requests=400, seed=23,
+                             workload="uniform")
+        result = ServiceEngine(config).run()
+        assert self.behavior_hash(result) == self.PINS["uniform"]
+
+    def test_streams_come_from_the_workload_package(self):
+        from repro.workloads import (uniform_request_stream,
+                                     zipf_request_stream)
+        from repro.serve import engine as serve_engine
+        assert serve_engine.zipf_request_stream is zipf_request_stream
+        assert serve_engine.uniform_request_stream is uniform_request_stream

@@ -20,9 +20,9 @@ from hypothesis import strategies as st
 
 from repro.errors import ConfigurationError
 from repro.telemetry import (TelemetrySession, TraceWriter, attach_controller,
-                             attach_exact, attach_fast, census, diff_traces,
-                             merge_snapshots, read_trace, run_meta,
-                             timed_call)
+                             attach_exact, attach_fast, attach_ftl, census,
+                             diff_traces, merge_snapshots, read_trace,
+                             run_meta, timed_call)
 from repro.telemetry.metrics import (DEFAULT_BUCKETS, NULL_COUNTER,
                                      NULL_GAUGE, NULL_HISTOGRAM, Registry,
                                      SLO_QUANTILES, histogram_quantile,
@@ -708,3 +708,37 @@ class TestCli:
             runpy.run_module("repro.telemetry", run_name="__main__")
         assert excinfo.value.code == 0
         assert "census" in capsys.readouterr().out
+
+
+def test_attach_ftl_routes_wa_accounting_through_the_session():
+    import numpy as np
+
+    from repro.workloads import FTLConfig, PageMappingFTL
+
+    ftl = PageMappingFTL(FTLConfig(logical_pages=96, physical_blocks=8,
+                                   pages_per_block=32))
+    session = TelemetrySession()
+    assert attach_ftl(session, ftl) is session
+    assert ftl.telem is session
+    addresses = np.random.default_rng(7).integers(0, 96, size=2048)
+    ftl.replay(addresses, epoch_writes=512)
+    counters = session.registry.snapshot()["counters"]
+    assert counters["wa.host_writes"] == 2048
+    assert counters["wa.gc_writes"] == ftl.gc_writes
+    assert counters["wa.erases"] == ftl.erases
+    gauges = session.registry.snapshot()["gauges"]
+    assert gauges["wa.ratio"] == pytest.approx(ftl.wa_ratio())
+    histogram = session.registry.snapshot()["histograms"]["wa.epoch_ratio"]
+    assert sum(histogram["counts"]) == len(ftl.epoch_series) == 4
+
+
+def test_detached_ftl_pays_nothing():
+    import numpy as np
+
+    from repro.workloads import FTLConfig, PageMappingFTL
+
+    ftl = PageMappingFTL(FTLConfig(logical_pages=96, physical_blocks=8,
+                                   pages_per_block=32))
+    assert ftl.telem is None
+    ftl.replay(np.zeros(64, dtype=np.int64), epoch_writes=16)
+    assert len(ftl.epoch_series) == 4  # the series itself still accrues
