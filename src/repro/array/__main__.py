@@ -77,6 +77,17 @@ def _parser() -> argparse.ArgumentParser:
                         help="inject a whole-shard death on this shard")
     parser.add_argument("--kill-at", type=int, default=4_000,
                         help="shard-local write count of the injected death")
+    parser.add_argument("--balance", action="store_true",
+                        help="steer hot addresses away from high-risk "
+                             "shards (repro.balance)")
+    parser.add_argument("--balance-every", type=int, default=None,
+                        help="global writes between steering checkpoints "
+                             "(default: steer at shard deaths only)")
+    parser.add_argument("--remap-budget", type=int, default=8,
+                        help="max hot/cold swaps per rebalance round")
+    parser.add_argument("--add-shard-at", type=int, default=None,
+                        help="global write count at which a fresh shard "
+                             "joins the array")
     parser.add_argument("--json", type=str, default=None,
                         help="write the full result as JSON to this path")
     parser.add_argument("--quiet", action="store_true")
@@ -137,6 +148,12 @@ def render(result: ArrayResult) -> str:
         f"  dead shards: "
         + (", ".join(str(s) for s in report.dead_shards) or "none"),
     ]
+    counters = result.snapshot.get("counters", {})
+    if "balance.migration-writes" in counters:
+        lines.append(
+            f"  balance: {counters.get('balance.remap-swaps', 0)} swaps, "
+            f"{counters.get('balance.shards-added', 0)} shard(s) added, "
+            f"{counters['balance.migration-writes']} migration writes")
     for shard in report.shards:
         died = (f"died @ ~{shard.died_at_global:,} global"
                 if shard.died_at_global is not None else "survived")
@@ -164,7 +181,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             endurance_cov=args.endurance_cov, psi=args.psi,
             recovery=args.recovery, dead_fraction=args.dead_fraction,
             batch_writes=args.batch_writes, max_writes=args.max_writes,
-            telemetry=not args.no_telemetry, seed=args.seed)
+            telemetry=not args.no_telemetry, seed=args.seed,
+            balance=args.balance, balance_every=args.balance_every,
+            remap_budget=args.remap_budget,
+            add_shard_at=args.add_shard_at)
         engine = ArrayEngine(config, _workload(args, config),
                              label=f"array-{args.workload}", jobs=args.jobs,
                              batch=args.batch, schedule=schedule)

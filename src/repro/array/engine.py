@@ -40,7 +40,8 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import (TYPE_CHECKING, Dict, Iterable, List, Optional, Set,
+                    Tuple)
 
 import numpy as np
 
@@ -50,12 +51,15 @@ from ..faultinject import FaultSchedule, for_shard
 from ..rng import SeedLike
 from ..sim.metrics import LifetimeSeries, SamplePoint
 from ..sim.stop import StopCause, StopReason
-from ..telemetry import merge_snapshots
+from ..telemetry import TelemetrySession, merge_snapshots
 from ..traces.base import DistributionTrace
 from ..units import blocks_of_pages, ceil_div, page_count
 from .decoder import INTERLEAVE_MODES, InterleavedDecoder
 from .report import ArrayEndOfLifeReport, ShardCensus
 from .shard import idle_result, run_shard_cell, shard_seed
+
+if TYPE_CHECKING:  # pragma: no cover - cycle guard: balance wraps our decoder
+    from ..balance import BalancedDecoder, LevelerPolicy, ShardHealthModel
 
 #: Array end-of-life policies.
 ARRAY_POLICIES: Tuple[str, ...] = ("fail-stop", "degraded")
@@ -89,6 +93,17 @@ class ArrayConfig:
     max_writes: Optional[int] = None
     telemetry: bool = True
     seed: SeedLike = None
+    #: Enable risk-steered inter-shard leveling (the balance subsystem).
+    balance: bool = False
+    #: Max hot/cold swaps per rebalance round (2 migration writes each).
+    remap_budget: int = 8
+    #: Global writes between steering checkpoints (None with ``balance``:
+    #: steer only at shard-death boundaries).
+    balance_every: Optional[int] = None
+    #: Minimum risk spread before the leveler engages.
+    min_risk_gap: float = 0.02
+    #: Global write count at which one fresh shard joins (None = never).
+    add_shard_at: Optional[int] = None
 
     def __post_init__(self) -> None:
         if self.policy not in ARRAY_POLICIES:
@@ -107,6 +122,14 @@ class ArrayConfig:
             # left to serve.
             raise ConfigurationError(
                 "shard_blocks must be at least two OS pages")
+        if self.remap_budget < 0:
+            raise ConfigurationError("remap_budget cannot be negative")
+        if self.min_risk_gap < 0:
+            raise ConfigurationError("min_risk_gap cannot be negative")
+        if self.balance_every is not None and self.balance_every < 1:
+            raise ConfigurationError("balance_every must be >= 1 writes")
+        if self.add_shard_at is not None and self.add_shard_at < 1:
+            raise ConfigurationError("add_shard_at must be >= 1 writes")
 
     @property
     def software_blocks(self) -> int:
@@ -158,7 +181,7 @@ class ArrayResult:
         return {"label": self.label,
                 "policy": self.config.policy,
                 "interleave": self.config.interleave,
-                "num_shards": self.config.num_shards,
+                "num_shards": self.report.num_shards,
                 "rounds": self.rounds,
                 "report": self.report.as_dict(),
                 "series": self.series.to_payload(),
@@ -189,6 +212,16 @@ class ArrayEngine:
         folded = trace.restricted_to(self.decoder.global_blocks)
         self.probabilities = folded.probabilities
         self.result: Optional[ArrayResult] = None
+        #: True when the run goes through the balance control plane.
+        self.balanced = (config.balance
+                         or config.add_shard_at is not None)
+        self.bdecoder: Optional["BalancedDecoder"] = None
+        self.health: Optional["ShardHealthModel"] = None
+        self._states: List[_ShardState] = []
+        self._seeds: List[int] = []
+        self._migration_writes = 0
+        self._remap_swaps = 0
+        self._shards_added = 0
 
     # -------------------------------------------------------------- the clock
 
@@ -218,6 +251,8 @@ class ArrayEngine:
 
     def run(self) -> ArrayResult:
         """Simulate the array to its end of life; return the merged result."""
+        if self.balanced:
+            return self._run_balanced()
         cfg = self.config
         states = [self._boot_state(i) for i in range(cfg.num_shards)]
         seeds = [shard_seed(cfg.seed, i) for i in range(cfg.num_shards)]
@@ -265,6 +300,236 @@ class ArrayEngine:
             pending = self._redistribute(states, victim, live, death_global)
         return self._assemble(states, dead_order, stop, rounds)
 
+    # ----------------------------------------------------------- balanced run
+
+    def _run_balanced(self) -> ArrayResult:
+        """The balance control plane: steering + elastic growth.
+
+        Same round structure as the legacy loop, with two additions: a
+        rolling *horizon* (the next scheduled control event on the
+        global clock) caps every cell run, and when a round ends with
+        every live shard parked at the horizon the event fires — feed
+        the health model, add the scheduled shard, plan bounded swaps —
+        before the loop resumes.  Deaths always take priority over
+        control events, and an event that a death overtakes slips to the
+        death's global time so segment boundaries stay monotone.
+        """
+        from ..balance.health import ShardHealthModel
+        from ..balance.leveler import LevelerPolicy
+        from ..balance.remap import BalancedDecoder
+        cfg = self.config
+        bdec = BalancedDecoder(self.decoder)
+        self.bdecoder = bdec
+        health = ShardHealthModel(
+            cfg.num_shards,
+            endurance_budget=cfg.shard_blocks * cfg.mean_endurance,
+            seed=cfg.seed)
+        self.health = health
+        policy = LevelerPolicy(budget=cfg.remap_budget,
+                               min_gap=cfg.min_risk_gap)
+        states = self._states = [self._boot_state(i)
+                                 for i in range(cfg.num_shards)]
+        seeds = self._seeds = [shard_seed(cfg.seed, i)
+                               for i in range(cfg.num_shards)]
+        dead_order: List[int] = []
+        add_at = (float(cfg.add_shard_at)
+                  if cfg.add_shard_at is not None else None)
+        next_balance = (float(cfg.balance_every)
+                        if cfg.balance and cfg.balance_every is not None
+                        else None)
+        rounds = 0
+        stop: Optional[StopReason] = None
+        while stop is None:
+            horizon = self._next_horizon(add_at, next_balance)
+            pending = self._pending_shards(states, horizon)
+            rounds += 1
+            self._run_round(rounds, pending, states, seeds, horizon=horizon)
+            deaths: List[Tuple[float, int]] = []
+            for i, state in enumerate(states):
+                record = state.result
+                if (state.dead or record is None
+                        or record["stop"] == StopCause.MAX_WRITES.value):
+                    continue
+                deaths.append((self._global_at_local(
+                    state, int(record["local_writes"])), i))
+            deaths.sort()
+            live = [i for i in range(len(states)) if not states[i].dead]
+            self._observe_health(health, states, live)
+            if deaths:
+                death_global, victim = deaths[0]
+                victim_record = states[victim].result
+                victim_writes = (float(victim_record["local_writes"])
+                                 if victim_record is not None else 0.0)
+                health.observe(victim, victim_writes,
+                               self._failed_fraction(victim_record),
+                               dead=True)
+                states[victim].dead = True
+                states[victim].death_global = death_global
+                dead_order.append(victim)
+                live = [i for i in range(len(states))
+                        if not states[i].dead]
+                if cfg.policy == "fail-stop":
+                    pending = self._truncate_survivors(states, live,
+                                                       death_global)
+                    if pending:
+                        rounds += 1
+                        self._run_round(rounds, pending, states, seeds)
+                    stop = StopReason(
+                        StopCause.SHARD_FAILED,
+                        f"shard {victim} at ~{int(death_global):,} "
+                        f"global writes")
+                    break
+                if not live:
+                    stop = StopReason(StopCause.EXHAUSTED,
+                                      "all shards dead")
+                    break
+                affected = self._rehome_victim(victim, live)
+                if cfg.balance:
+                    affected |= self._steer(health, live, policy)
+                self._apply_masses(states, affected, death_global)
+                # Control events a death overtakes slip to the death's
+                # global time, keeping segment boundaries monotone.
+                if add_at is not None:
+                    add_at = max(add_at, death_global)
+                if next_balance is not None:
+                    next_balance = max(next_balance, death_global)
+                continue
+            if horizon is None:
+                stop = StopReason(StopCause.MAX_WRITES)
+                break
+            affected = set()
+            if add_at is not None and horizon >= add_at:
+                affected |= self.add_shard(horizon)
+                add_at = None
+            if (cfg.balance and next_balance is not None
+                    and horizon >= next_balance):
+                affected |= self._steer(health, live, policy)
+                assert cfg.balance_every is not None
+                next_balance = horizon + float(cfg.balance_every)
+            self._apply_masses(states, affected, horizon)
+        return self._assemble(states, dead_order, stop, rounds)
+
+    def _next_horizon(self, add_at: Optional[float],
+                      next_balance: Optional[float]) -> Optional[float]:
+        """Earliest scheduled control event still inside the budget."""
+        candidates = [at for at in (add_at, next_balance) if at is not None]
+        if not candidates:
+            return None
+        horizon = min(candidates)
+        if (self.config.max_writes is not None
+                and horizon >= float(self.config.max_writes)):
+            return None
+        return horizon
+
+    def _pending_shards(self, states: List[_ShardState],
+                        horizon: Optional[float]) -> List[int]:
+        """Live shards whose recorded run does not reach the current cap."""
+        pending = []
+        for i, state in enumerate(states):
+            if state.dead or state.share <= 0:
+                if state.result is None:
+                    state.result = idle_result(
+                        i, self.config.software_blocks)
+                continue
+            record = state.result
+            if record is None:
+                pending.append(i)
+                continue
+            if record["stop"] != StopCause.MAX_WRITES.value:
+                continue  # an unprocessed death: no re-run, no new cap
+            if int(record["local_writes"]) != self._cap_for(state, horizon):
+                pending.append(i)
+        return pending
+
+    def _observe_health(self, health: "ShardHealthModel",
+                        states: List[_ShardState],
+                        live: List[int]) -> None:
+        """Feed every live shard's latest record into the health model."""
+        for i in live:
+            record = states[i].result
+            if record is not None:
+                health.observe(i, float(record["local_writes"]),
+                               self._failed_fraction(record))
+
+    @staticmethod
+    def _failed_fraction(record: Optional[dict]) -> float:
+        if record is None:
+            return 0.0
+        report = record.get("report", {})
+        value = report.get("failed_fraction", 0.0) \
+            if isinstance(report, dict) else 0.0
+        return float(value) if isinstance(value, (int, float)) \
+            and not isinstance(value, bool) else 0.0
+
+    def _rehome_victim(self, victim: int, live: List[int]) -> Set[int]:
+        """Degraded death through the elastic map; returns changed shards."""
+        assert self.bdecoder is not None
+        affected_addresses = self.bdecoder.rehome(victim, live)
+        self._states[victim].mass = np.zeros_like(
+            self._states[victim].mass)
+        owners = self.bdecoder.shard_of(affected_addresses)
+        return {int(s) for s in np.unique(np.asarray(owners))}
+
+    def _steer(self, health: "ShardHealthModel", live: List[int],
+               policy: "LevelerPolicy") -> Set[int]:
+        """One bounded leveler round; returns the shards whose map changed."""
+        from ..balance.leveler import plan_swaps
+        assert self.bdecoder is not None
+        swaps = plan_swaps(self.bdecoder, self.probabilities,
+                           health.risks(), live, policy)
+        affected: Set[int] = set()
+        if swaps:
+            self._remap_swaps += len(swaps)
+            self._migration_writes += 2 * len(swaps)
+            for hot, cold in swaps:
+                affected.add(int(self.bdecoder.shard_of(hot)))
+                affected.add(int(self.bdecoder.shard_of(cold)))
+        return affected
+
+    def add_shard(self, at_global: float) -> Set[int]:
+        """Grow the array by one fresh shard at a round boundary.
+
+        The new chip+reviver cell starts pristine with its local clock
+        pinned to the global clock at *at_global*; the consistent-hash
+        movers give it ~``1/(N+1)`` of the address space.  Returns the
+        donor shards whose traffic changed (the new shard's own state is
+        installed directly).
+        """
+        assert self.bdecoder is not None and self.health is not None
+        cfg = self.config
+        movers, donors = self.bdecoder.add_shard()
+        new_index = len(self._states)
+        self._seeds.append(shard_seed(cfg.seed, new_index))
+        mass = self.bdecoder.local_mass(self.probabilities, new_index)
+        state = _ShardState(
+            mass=mass, segments=[(0, mass.copy())],
+            pieces=[(0, float(at_global), float(mass.sum()))])
+        if state.share <= 0:
+            state.result = idle_result(new_index, cfg.software_blocks)
+        self._states.append(state)
+        self.health.add_shard()
+        self._migration_writes += int(movers.size)
+        self._shards_added += 1
+        return {int(s) for s in np.unique(np.asarray(donors))}
+
+    def _apply_masses(self, states: List[_ShardState],
+                      affected: Iterable[int], at_global: float) -> None:
+        """Re-project masses for *affected* shards at the event boundary."""
+        assert self.bdecoder is not None
+        for i in sorted(set(affected)):
+            state = states[i]
+            if state.dead:
+                continue
+            new_mass = self.bdecoder.local_mass(self.probabilities, i)
+            boundary = self._epoch_ceil(
+                self._local_at_global(state, at_global))
+            boundary = max(boundary, state.segments[-1][0])
+            global_at_boundary = max(
+                at_global, self._global_at_local(state, boundary))
+            state.mass = new_mass
+            self._append_segment(state, boundary, new_mass.copy(),
+                                 global_at_boundary)
+
     # ---------------------------------------------------------------- rounds
 
     def _boot_state(self, shard: int) -> _ShardState:
@@ -273,8 +538,14 @@ class ArrayEngine:
                            pieces=[(0, 0.0, float(mass.sum()))])
 
     def _run_round(self, round_no: int, pending: List[int],
-                   states: List[_ShardState], seeds: List[int]) -> None:
-        """Run the pending shards' cells and record their results."""
+                   states: List[_ShardState], seeds: List[int],
+                   horizon: Optional[float] = None) -> None:
+        """Run the pending shards' cells and record their results.
+
+        *horizon* (balanced runs) caps every cell at the epoch boundary
+        covering that global write count, so a control event can fire
+        with all live shards parked at the same point of the clock.
+        """
         if not pending:
             return
         cells = []
@@ -282,23 +553,33 @@ class ArrayEngine:
             key = f"{self.label}/r{round_no}/s{i}"
             cells.append(Cell(key=key, fn=_CELL_FN,
                               kwargs=self._cell_kwargs(i, states[i],
-                                                       seeds[i])))
+                                                       seeds[i], horizon)))
         runner = GridRunner(jobs=self.jobs, progress=self.progress,
                             batch=self.batch)
         values = runner.run(cells)
         for i in pending:
             states[i].result = values[f"{self.label}/r{round_no}/s{i}"]
 
-    def _cell_kwargs(self, shard: int, state: _ShardState,
-                     seed: int) -> dict:
+    def _cap_for(self, state: _ShardState,
+                 horizon: Optional[float] = None) -> Optional[int]:
+        """Epoch-aligned local write cap for one shard's next cell run."""
         cfg = self.config
         cap: Optional[int] = None
         if cfg.max_writes is not None:
             cap = self._epoch_ceil(
                 self._local_at_global(state, float(cfg.max_writes)))
+        if horizon is not None:
+            capped = self._epoch_ceil(self._local_at_global(state, horizon))
+            cap = capped if cap is None else min(cap, capped)
         if state.forced_cap is not None:
             cap = (state.forced_cap if cap is None
                    else min(cap, state.forced_cap))
+        return cap
+
+    def _cell_kwargs(self, shard: int, state: _ShardState, seed: int,
+                     horizon: Optional[float] = None) -> dict:
+        cfg = self.config
+        cap = self._cap_for(state, horizon)
         schedule_json: Optional[str] = None
         if self.schedule is not None:
             schedule_json = for_shard(self.schedule, shard).to_json()
@@ -392,8 +673,11 @@ class ArrayEngine:
                   stop: Optional[StopReason],
                   rounds: int) -> ArrayResult:
         cfg = self.config
-        base_shares = [float(self.decoder.local_mass(
-            self.probabilities, i).sum()) for i in range(cfg.num_shards)]
+        # A shard's boot-time share is its first trace segment's mass —
+        # identical to the decoder projection for the initial shards,
+        # and well-defined for shards added mid-run.
+        base_shares = [float(state.segments[0][1].sum())
+                       for state in states]
         census = []
         rescaled = []
         total_writes = 0
@@ -453,12 +737,24 @@ class ArrayEngine:
             snapshot = state.result.get("snapshot")
             if snapshot:
                 merged = merge_snapshots(merged, snapshot)
-        extra = {"counters": {"array.rounds": rounds,
-                              "array.shard-deaths": len(dead_order),
-                              "array.writes": total_writes},
-                 "gauges": {"array.shards-live":
-                            sum(1 for s in states if not s.dead)}}
-        return merge_snapshots(merged, extra)
+        extra: Dict[str, Dict[str, object]] = {
+            "counters": {"array.rounds": rounds,
+                         "array.shard-deaths": len(dead_order),
+                         "array.writes": total_writes},
+            "gauges": {"array.shards-live":
+                       sum(1 for s in states if not s.dead)}}
+        if self.balanced:
+            extra["counters"]["balance.migration-writes"] = \
+                self._migration_writes
+            extra["counters"]["balance.remap-swaps"] = self._remap_swaps
+            extra["counters"]["balance.shards-added"] = self._shards_added
+        merged = merge_snapshots(merged, extra)
+        if self.health is not None:
+            session = TelemetrySession()
+            self.health.publish(session)
+            merged = merge_snapshots(merged,
+                                     session.registry.snapshot())
+        return merged
 
     def _array_report(self, states: List[_ShardState],
                       census: List[ShardCensus], dead_order: List[int],

@@ -15,7 +15,7 @@ pure Python.
 """
 
 from . import (attacks, common, parallel, report, table1, fig5, fig6, fig7,
-               fig8, fig_array, fig_wa, table2)
+               fig8, fig_array, fig_elastic, fig_wa, table2)
 
 EXPERIMENTS = {
     "table1": table1,
@@ -30,8 +30,10 @@ EXPERIMENTS = {
     "fig_array": fig_array,
     # Beyond the paper: reviver gain under FTL write amplification.
     "fig_wa": fig_wa,
+    # Beyond the paper: elastic balancing and live scale-out (repro.balance).
+    "fig_elastic": fig_elastic,
 }
 
 __all__ = ["EXPERIMENTS", "attacks", "common", "parallel", "report",
-           "table1", "fig5", "fig6", "fig7", "fig8", "fig_array", "fig_wa",
-           "table2"]
+           "table1", "fig5", "fig6", "fig7", "fig8", "fig_array",
+           "fig_elastic", "fig_wa", "table2"]

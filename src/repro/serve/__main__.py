@@ -79,6 +79,16 @@ def build_parser() -> argparse.ArgumentParser:
                         help="shard-local write count of the stall")
     parser.add_argument("--stall-requests", type=int, default=8,
                         help="requests the stalled shard swallows")
+    parser.add_argument("--balance", action="store_true",
+                        help="steer hot writes away from high-risk "
+                             "shards (repro.balance)")
+    parser.add_argument("--rebalance-every", type=int, default=200,
+                        help="served writes between steering checkpoints")
+    parser.add_argument("--remap-budget", type=int, default=8,
+                        help="max hot/cold swaps per steering checkpoint")
+    parser.add_argument("--add-shard-at", type=int, default=None,
+                        help="issued-request count at which a fresh "
+                             "shard joins the array, live")
     parser.add_argument("--json", type=str, default=None,
                         help="write the full result as JSON to this path")
     parser.add_argument("--quiet", action="store_true")
@@ -96,7 +106,9 @@ def config_of(args: argparse.Namespace) -> ServeConfig:
         queue_depth=args.queue_depth, admission=args.admission,
         batch_max=args.batch_max, batch_window=args.batch_window,
         deadline_ticks=args.deadline, brownout_wear=args.brownout_wear,
-        mean_endurance=args.mean_endurance, seed=args.seed)
+        mean_endurance=args.mean_endurance, seed=args.seed,
+        balance=args.balance, rebalance_every=args.rebalance_every,
+        remap_budget=args.remap_budget, add_shard_at=args.add_shard_at)
     if args.retry_limit is not None:
         kwargs["retry_limit"] = args.retry_limit
     if args.trace is not None:
@@ -146,6 +158,12 @@ def render(result: ServiceResult) -> str:
         f"{name}={resilience[name]}"
         for name in ("retries", "failover", "steered", "stalled",
                      "breaker_opened", "breaker_closed", "deaths")))
+    counters = result.snapshot.get("counters", {})
+    if "serve.remap_swaps" in counters or "serve.migrated" in counters:
+        lines.append(
+            f"balance: {counters.get('serve.remap_swaps', 0)} swaps, "
+            f"{counters.get('serve.shards_added', 0)} shard(s) added, "
+            f"{counters.get('serve.migrated', 0)} addresses migrated")
     return "\n".join(lines)
 
 

@@ -95,6 +95,18 @@ class ServeConfig:
     brownout_wear: float = 0.85
     mean_endurance: float = 300.0
 
+    # ------------------------------------- elastic balancing (repro.balance)
+    #: Steer hot writes away from high-risk shards via the balanced
+    #: decoder's hot/cold swaps (bounded by ``remap_budget`` per round).
+    balance: bool = False
+    #: Served writes between steering checkpoints.
+    rebalance_every: int = 200
+    #: Maximum hot/cold swaps one steering checkpoint may apply.
+    remap_budget: int = 8
+    #: Issued-request count at which a fresh shard joins the array
+    #: (consistent-hashing migration; ``None`` = never grow).
+    add_shard_at: Optional[int] = None
+
     # ---------------------------------------------------------- plumbing
     seed: int = 7
     latency_bounds: Tuple[float, ...] = LATENCY_BOUNDS
@@ -160,6 +172,12 @@ class ServeConfig:
             raise ConfigurationError("brownout_wear must be in (0, 1]")
         if self.mean_endurance <= 0:
             raise ConfigurationError("mean_endurance must be positive")
+        if self.rebalance_every < 1:
+            raise ConfigurationError("rebalance_every must be >= 1")
+        if self.remap_budget < 0:
+            raise ConfigurationError("remap_budget cannot be negative")
+        if self.add_shard_at is not None and self.add_shard_at < 1:
+            raise ConfigurationError("add_shard_at must be >= 1")
         if len(self.latency_bounds) < 1:
             raise ConfigurationError("need at least one latency bound")
 

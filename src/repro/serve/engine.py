@@ -30,7 +30,11 @@ import json
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
+import numpy as np
+
 from ..array.decoder import InterleavedDecoder
+from ..balance import (BalancedDecoder, LevelerPolicy, ShardHealthModel,
+                       plan_swaps)
 from ..errors import ConfigurationError, ProtocolError
 from ..faultinject import FaultSchedule
 from ..rng import derive_rng
@@ -82,10 +86,25 @@ class ServiceEngine:
     def __init__(self, config: ServeConfig,
                  schedule: Optional[FaultSchedule] = None) -> None:
         self.config = config
-        self.decoder = InterleavedDecoder(config.num_shards,
-                                          config.shard_blocks,
-                                          interleave=config.interleave,
-                                          page_blocks=config.page_blocks)
+        base = InterleavedDecoder(config.num_shards, config.shard_blocks,
+                                  interleave=config.interleave,
+                                  page_blocks=config.page_blocks)
+        #: True when the repro.balance control plane is live: steering,
+        #: elastic growth, or both.
+        self.balanced = config.balance or config.add_shard_at is not None
+        self.decoder: Any = BalancedDecoder(base) if self.balanced else base
+        self.health: Optional[ShardHealthModel] = None
+        self._policy: Optional[LevelerPolicy] = None
+        if self.balanced:
+            self.health = ShardHealthModel(config.num_shards,
+                                           config.endurance_budget,
+                                           seed=config.seed)
+            self._policy = LevelerPolicy(budget=config.remap_budget)
+        #: Empirical per-address write demand, sampled at issue time —
+        #: the distribution the leveler steers against.
+        self._demand = np.zeros(config.global_blocks, dtype=np.float64)
+        self._shard_added = False
+        self._writes_seen = 0
         self.stations = [ShardStation(sid, config)
                          for sid in range(config.num_shards)]
         self.faults = ServeFaultDriver(schedule, config)
@@ -190,8 +209,10 @@ class ServiceEngine:
         session = self.session
         session.set_gauge("serve.duration", self.now)
         session.set_gauge("serve.clients", self.config.clients)
-        session.set_gauge("serve.shards", self.config.num_shards)
+        session.set_gauge("serve.shards", len(self.stations))
         session.set_gauge("serve.live_shards", len(self._live()))
+        if self.health is not None:
+            self.health.publish(session)
         session.count("serve.deaths",
                       sum(1 for s in self.stations if not s.alive))
         session.count("serve.breaker_opened",
@@ -205,7 +226,12 @@ class ServiceEngine:
     def _issue(self, client: int) -> None:
         if self.issued >= self.config.total_requests:
             return  # quota reached while this client was thinking
+        if (self.config.add_shard_at is not None and not self._shard_added
+                and self.issued >= self.config.add_shard_at):
+            self._add_shard()
         address, is_write = self._streams[client].next_request()
+        if self.balanced and is_write:
+            self._demand[address] += 1.0
         self.issue_log.append((address, int(is_write)))
         request = Request(rid=self.issued, client=client, address=address,
                           is_write=is_write, issued_at=self.now,
@@ -377,6 +403,12 @@ class ServiceEngine:
         self._finish(request, "ok")
         if request.is_write and self.faults.poll(station):
             self._kill(station)
+        if self.balanced and request.is_write:
+            self._writes_seen += 1
+            if (self.config.balance
+                    and self._writes_seen % self.config.rebalance_every
+                    == 0):
+                self._rebalance()
 
     # ------------------------------------------------------- retry/backoff
 
@@ -404,6 +436,14 @@ class ServiceEngine:
     def _kill(self, station: ShardStation) -> None:
         station.alive = False
         station.died_at = self.now
+        if self.health is not None:
+            self.health.observe(station.sid, station.writes_served, 0.0,
+                                dead=True)
+        live = self._live()
+        if (self.balanced and self.config.policy == "degraded" and live):
+            # Fold the degraded re-home rule into the balanced map, so
+            # later steering rounds see the survivors' true ownership.
+            self.decoder.rehome(station.sid, live)
         self._displace(station.drain())
 
     def _displace(self, requests: List[Request]) -> None:
@@ -415,6 +455,40 @@ class ServiceEngine:
                 self._finish(request, "failed")
             else:
                 self._push(self.now, _ADMIT, request)
+
+    # ---------------------------------------------- elastic balancing
+
+    def _add_shard(self) -> None:
+        """Grow the array by one shard, live, at an issue boundary.
+
+        Consistent-hashing migration: ~1/(N+1) of the address space
+        re-homes onto the fresh shard; everything else keeps its exact
+        home, so in-flight requests are unaffected (routing is fixed at
+        admit time) and the zero-drop identity is preserved.
+        """
+        self._shard_added = True
+        movers, _donors = self.decoder.add_shard()
+        sid = len(self.stations)
+        self.stations.append(ShardStation(sid, self.config))
+        self.faults.grow()
+        assert self.health is not None  # balanced whenever add_shard_at set
+        self.health.add_shard()
+        self.session.count("serve.migrated", int(movers.size))
+        self.session.count("serve.shards_added")
+
+    def _rebalance(self) -> None:
+        """One steering checkpoint: wear telemetry -> bounded swaps."""
+        assert self.health is not None and self._policy is not None
+        for station in self.stations:
+            if station.alive:
+                self.health.observe(station.sid, station.writes_served, 0.0)
+        live = self._live()
+        if len(live) < 2:
+            return
+        swaps = plan_swaps(self.decoder, self._demand,
+                           self.health.risks(), live, self._policy)
+        if swaps:
+            self.session.count("serve.remap_swaps", len(swaps))
 
 
 __all__ = ["ServiceEngine", "ServiceResult"]

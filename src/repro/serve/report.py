@@ -62,7 +62,9 @@ def build_report(snapshot: Mapping[str, Mapping[str, Any]],
             "deaths": _counter(snapshot, "serve.deaths"),
         },
         "shards": {
-            "total": config.num_shards,
+            # Read from the snapshot, not the config: elastic scale-out
+            # can grow the array past its configured size mid-run.
+            "total": _gauge(snapshot, "serve.shards") or config.num_shards,
             "live": _gauge(snapshot, "serve.live_shards"),
         },
     }

@@ -118,17 +118,29 @@ class ServeFaultDriver:
     def __init__(self, schedule: Optional[FaultSchedule],
                  config: ServeConfig) -> None:
         self.config = config
+        self._schedule = schedule
         self._pending: List[List[FaultAction]] = []
         self._cursor: List[int] = []
-        for sid in range(config.num_shards):
-            if schedule is None:
-                self._pending.append([])
-            else:
-                projected = for_shard(schedule, sid)
-                self._pending.append(list(projected.sorted_actions()))
-            self._cursor.append(0)
+        for _ in range(config.num_shards):
+            self.grow()
         #: Actions applied so far, as ``(sid, action)`` in order.
         self.applied: List[Tuple[int, FaultAction]] = []
+
+    def grow(self) -> int:
+        """Project the schedule onto one more shard (elastic scale-out).
+
+        A shard that joins mid-run starts at write count zero, so every
+        broadcast action whose ``at_write`` pin it eventually reaches
+        still applies — kill schedules compose with rebalancing.
+        """
+        sid = len(self._pending)
+        if self._schedule is None:
+            self._pending.append([])
+        else:
+            projected = for_shard(self._schedule, sid)
+            self._pending.append(list(projected.sorted_actions()))
+        self._cursor.append(0)
+        return sid
 
     def poll(self, station: ShardStation) -> bool:
         """Apply every action due at the station's write count.

@@ -25,7 +25,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from .metrics import (Counter, Gauge, Histogram, Registry, SLO_QUANTILES,
+from .metrics import (Counter, GAUGE_MODES, Gauge, Histogram, Registry,
+                      SLO_QUANTILES, gauge_payload, gauge_value,
                       histogram_quantile, merge_snapshots, quantile_label,
                       snapshot_quantiles)
 from .session import PhaseTimer, TelemetrySession
@@ -94,6 +95,7 @@ def attach_ftl(session: TelemetrySession,
 
 __all__ = [
     "Counter", "Gauge", "Histogram", "Registry", "SLO_QUANTILES",
+    "GAUGE_MODES", "gauge_payload", "gauge_value",
     "histogram_quantile", "merge_snapshots", "quantile_label",
     "snapshot_quantiles",
     "TelemetrySession", "PhaseTimer", "TraceWriter", "CellTiming",

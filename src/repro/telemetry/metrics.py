@@ -11,10 +11,14 @@ The simulator's telemetry needs are modest but strict:
   ``telem is None`` hook instead, paying nothing at all);
 * **mergeable** — experiment cells run in worker processes, so every
   metric must aggregate across processes.  Snapshots merge with
-  :func:`merge_snapshots`, which is associative and commutative
-  (counters and histogram buckets add; gauges take the maximum), so the
-  aggregate is independent of worker scheduling — the same guarantee the
-  parallel harness makes for results.
+  :func:`merge_snapshots`: counters and histogram buckets add, gauges
+  combine under their declared policy (``max`` by default, ``min`` for
+  headroom-style minima, ``last`` for single-writer point-in-time
+  values).  ``max``/``min`` merges are associative and commutative, so
+  the aggregate is independent of worker scheduling — the same guarantee
+  the parallel harness makes for results.  ``last`` is associative but
+  takes the right-hand operand, so it is only scheduling-independent
+  when a single writer owns the gauge (the intended use).
 
 Naming convention: dotted lowercase paths (``events.page-retire``,
 ``phase.software-apply.seconds``).  The registry rejects re-registering a
@@ -39,6 +43,9 @@ DEFAULT_BUCKETS: Tuple[float, ...] = (
 #: Default SLO quantiles reported for latency-style histograms.
 SLO_QUANTILES: Tuple[float, ...] = (0.5, 0.95, 0.99)
 
+#: Gauge merge policies: how two snapshots of the same gauge combine.
+GAUGE_MODES: Tuple[str, ...] = ("max", "min", "last")
+
 
 class Counter:
     """A monotonically non-decreasing sum."""
@@ -61,19 +68,44 @@ class Counter:
 
 
 class Gauge:
-    """A point-in-time value (last write wins; merges by maximum)."""
+    """A point-in-time value (last write wins within a process).
 
-    __slots__ = ("name", "value")
+    Across snapshots the gauge combines under its *mode*: ``max`` (the
+    historical default — high-water marks), ``min`` (low-water marks,
+    e.g. the worst wear-headroom across shards), or ``last`` (the
+    incoming snapshot wins — single-writer point-in-time values).  The
+    default ``max`` mode snapshots as a bare number, exactly as before
+    the modes existed; ``min``/``last`` gauges snapshot as
+    ``{"value": ..., "mode": ...}`` so merges know the policy.
+    """
 
-    def __init__(self, name: str) -> None:
+    __slots__ = ("name", "value", "mode")
+
+    def __init__(self, name: str, mode: str = "max") -> None:
+        if mode not in GAUGE_MODES:
+            raise ConfigurationError(
+                f"gauge {name!r}: unknown merge mode {mode!r}; "
+                f"choose from {GAUGE_MODES}")
         self.name = name
+        self.mode = mode
         self.value: Number = 0
 
     def set(self, value: Number) -> None:
         self.value = value
 
-    def snapshot(self) -> Number:
-        return self.value
+    def combine(self, value: Number) -> None:
+        """Fold one snapshot *value* in under this gauge's merge mode."""
+        if self.mode == "max":
+            self.value = max(self.value, value)
+        elif self.mode == "min":
+            self.value = min(self.value, value)
+        else:
+            self.value = value
+
+    def snapshot(self) -> object:
+        if self.mode == "max":
+            return self.value
+        return {"value": self.value, "mode": self.mode}
 
 
 class Histogram:
@@ -183,14 +215,24 @@ class Registry:
             found = self._counters[name] = Counter(name)
         return found
 
-    def gauge(self, name: str) -> Gauge:
-        """The gauge registered under *name* (created on first use)."""
+    def gauge(self, name: str, mode: Optional[str] = None) -> Gauge:
+        """The gauge registered under *name* (created on first use).
+
+        *mode* fixes the merge policy on first use (default ``max``).
+        Passing a mode for an existing gauge asserts it: a mismatch is a
+        configuration error — the same gauge cannot merge two ways.
+        """
         if not self.enabled:
             return NULL_GAUGE
         found = self._gauges.get(name)
         if found is None:
             self._check_free(name, self._gauges)
-            found = self._gauges[name] = Gauge(name)
+            found = self._gauges[name] = Gauge(
+                name, mode if mode is not None else "max")
+        elif mode is not None and found.mode != mode:
+            raise ConfigurationError(
+                f"gauge {name!r} is registered with merge mode "
+                f"{found.mode!r}, not {mode!r}")
         return found
 
     def histogram(self, name: str,
@@ -231,12 +273,16 @@ class Registry:
         for name, value in snapshot.get("counters", {}).items():
             self.counter(name).inc(_as_number(value))
         for name, value in snapshot.get("gauges", {}).items():
-            number = _as_number(value)
+            number, mode = gauge_payload(name, value)
             existing = self._gauges.get(name)
             if existing is None:
-                self.gauge(name).set(number)
+                self.gauge(name, mode).set(number)
             else:
-                existing.set(max(existing.value, number))
+                if existing.mode != mode:
+                    raise ConfigurationError(
+                        f"gauge {name!r} merge mode differs between "
+                        f"snapshots: {existing.mode!r} vs {mode!r}")
+                existing.combine(number)
         for name, data in snapshot.get("histograms", {}).items():
             if not isinstance(data, Mapping):
                 raise ConfigurationError(
@@ -260,16 +306,40 @@ class Registry:
 def merge_snapshots(a: Mapping[str, Mapping[str, object]],
                     b: Mapping[str, Mapping[str, object]],
                     ) -> Dict[str, Dict[str, object]]:
-    """Pure merge of two snapshots; associative and commutative.
+    """Pure merge of two snapshots; associative.
 
-    Counters and histogram buckets add, gauges take the maximum — every
-    combining operation is order-independent, so aggregating worker
-    snapshots yields the same result regardless of completion order.
+    Counters and histogram buckets add; gauges combine under their
+    declared merge policy (``max`` — the default for bare-number gauge
+    snapshots — ``min``, or ``last``).  ``max``/``min`` are commutative,
+    so those aggregates are independent of worker completion order;
+    ``last`` takes *b*'s value and is only order-independent when a
+    single writer owns the gauge.
     """
     merged = Registry(enabled=True)
     merged.merge(a)
     merged.merge(b)
     return merged.snapshot()
+
+
+def gauge_payload(name: str, value: object) -> Tuple[Number, str]:
+    """``(value, mode)`` of one gauge's snapshot entry.
+
+    Accepts both forms: a bare number (the historical ``max``-mode
+    snapshot) and the ``{"value": ..., "mode": ...}`` mapping that
+    ``min``/``last`` gauges emit.
+    """
+    if isinstance(value, Mapping):
+        mode = value.get("mode")
+        if not isinstance(mode, str) or mode not in GAUGE_MODES:
+            raise ConfigurationError(
+                f"gauge snapshot {name!r} has bad merge mode {mode!r}")
+        return _as_number(value.get("value")), mode
+    return _as_number(value), "max"
+
+
+def gauge_value(value: object) -> Number:
+    """The numeric reading of one gauge snapshot entry, either form."""
+    return gauge_payload("<gauge>", value)[0]
 
 
 def histogram_quantile(data: Mapping[str, object], q: float) -> float:
@@ -357,6 +427,7 @@ def _as_list(data: Mapping[str, object], key: str) -> Sequence[object]:
 
 
 __all__ = ["Counter", "Gauge", "Histogram", "Registry", "merge_snapshots",
+           "gauge_payload", "gauge_value",
            "histogram_quantile", "quantile_label", "snapshot_quantiles",
-           "DEFAULT_BUCKETS", "SLO_QUANTILES",
+           "DEFAULT_BUCKETS", "SLO_QUANTILES", "GAUGE_MODES",
            "NULL_COUNTER", "NULL_GAUGE", "NULL_HISTOGRAM"]

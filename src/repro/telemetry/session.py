@@ -81,9 +81,10 @@ class TelemetrySession:
         """Bump the counter *name* by *amount*."""
         self.registry.counter(name).inc(amount)
 
-    def set_gauge(self, name: str, value: Number) -> None:
-        """Set the gauge *name* to *value*."""
-        self.registry.gauge(name).set(value)
+    def set_gauge(self, name: str, value: Number,
+                  mode: Optional[str] = None) -> None:
+        """Set the gauge *name* to *value* (*mode* fixes its merge policy)."""
+        self.registry.gauge(name, mode).set(value)
 
     def observe(self, name: str, value: Number,
                 bounds: Sequence[float] = DEFAULT_BUCKETS) -> None:

@@ -18,10 +18,15 @@ The request-stream builders the serving layer uses
 (:func:`zipf_request_stream`, :func:`uniform_request_stream`) live here
 as the single implementation — ``repro.serve`` imports them.
 
-CLI: ``python -m repro.workloads {generate,record,replay,describe}``.
+:mod:`~repro.workloads.convert` ingests external block-trace CSVs
+(MSR-Cambridge layout) into the canonical format, so real enterprise
+traces replay through the same machinery as generated ones.
+
+CLI: ``python -m repro.workloads {generate,record,replay,describe,convert}``.
 """
 
 from ..traces import zipf_request_stream
+from .convert import convert_msr, fold_addresses, read_msr_csv
 from .ftl import FTLConfig, GC_POLICIES, PageMappingFTL
 from .generators import (CHUNK, Phase, PhasedWorkload, SequentialWorkload,
                          Workload, phase_shifting_hotspot,
@@ -41,4 +46,5 @@ __all__ = [
     "check_canonical", "read_meta", "record_workload", "write_records",
     "per_shard_streams", "shard_digests", "stream_digest",
     "FTLConfig", "GC_POLICIES", "PageMappingFTL",
+    "convert_msr", "fold_addresses", "read_msr_csv",
 ]

@@ -17,6 +17,10 @@ Examples::
 
     # just the header
     python -m repro.workloads describe zipf.trace --json
+
+    # ingest an MSR-Cambridge CSV, folded into a 4096-block device
+    python -m repro.workloads convert msr_week.csv --out msr.trace \\
+        --block-bytes 4096 --blocks 4096
 """
 
 from __future__ import annotations
@@ -100,6 +104,24 @@ def build_parser() -> argparse.ArgumentParser:
     describe = sub.add_parser("describe", help="print a trace's header")
     describe.add_argument("path")
     describe.add_argument("--json", action="store_true")
+
+    convert = sub.add_parser(
+        "convert", help="ingest an MSR-Cambridge CSV as a canonical trace")
+    convert.add_argument("path", help="source CSV "
+                                      "(timestamp,host,disk,offset,size,"
+                                      "type)")
+    convert.add_argument("--out", type=str, required=True)
+    convert.add_argument("--block-bytes", type=int, default=4096,
+                         help="bytes per simulated block (offset -> "
+                              "address divisor)")
+    convert.add_argument("--blocks", type=int, default=None,
+                         help="fold device addresses modulo this virtual "
+                              "space (default: size to the max address)")
+    convert.add_argument("--epoch", type=int, default=1024,
+                         help="requests per epoch marker")
+    convert.add_argument("--name", type=str, default=None,
+                         help="trace name (default: the CSV's stem)")
+    convert.add_argument("--json", action="store_true")
     return parser
 
 
@@ -217,6 +239,18 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_convert(args: argparse.Namespace) -> int:
+    from .convert import convert_msr, describe_conversion
+    meta = convert_msr(args.path, args.out, block_bytes=args.block_bytes,
+                       blocks=args.blocks, epoch_requests=args.epoch,
+                       name=args.name)
+    _emit({"out": args.out, "meta": describe_conversion(meta)}, args.json,
+          [f"wrote {args.out}: {meta.requests} requests over "
+           f"{meta.virtual_blocks} blocks, write ratio "
+           f"{meta.write_ratio:.3f}"])
+    return 0
+
+
 def _cmd_describe(args: argparse.Namespace) -> int:
     meta = read_meta(args.path)
     _emit({"meta": meta.as_dict()}, args.json,
@@ -230,7 +264,8 @@ def _cmd_describe(args: argparse.Namespace) -> int:
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     handlers = {"generate": _cmd_generate, "record": _cmd_record,
-                "replay": _cmd_replay, "describe": _cmd_describe}
+                "replay": _cmd_replay, "describe": _cmd_describe,
+                "convert": _cmd_convert}
     try:
         return handlers[args.command](args)
     except ReproError as exc:  # repro: allow(EXC-SWALLOW): CLI boundary — a bad flag combination becomes exit code 2, not a traceback

@@ -298,4 +298,4 @@ class TestCLI:
     def test_registry_complete(self):
         assert set(EXPERIMENTS) == {"table1", "fig5", "fig6", "fig7",
                                     "fig8", "table2", "attacks",
-                                    "fig_array", "fig_wa"}
+                                    "fig_array", "fig_wa", "fig_elastic"}

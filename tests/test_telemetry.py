@@ -25,7 +25,8 @@ from repro.telemetry import (TelemetrySession, TraceWriter, attach_controller,
                              run_meta, timed_call)
 from repro.telemetry.metrics import (DEFAULT_BUCKETS, NULL_COUNTER,
                                      NULL_GAUGE, NULL_HISTOGRAM, Registry,
-                                     SLO_QUANTILES, histogram_quantile,
+                                     SLO_QUANTILES, gauge_payload,
+                                     gauge_value, histogram_quantile,
                                      quantile_label, snapshot_quantiles)
 from repro.telemetry.trace import (EVENT_KINDS, PROFILE_KIND, dumps, loads,
                                    profile_of)
@@ -57,6 +58,75 @@ class TestGauge:
         gauge.set(3)
         gauge.set(1)
         assert gauge.value == 1
+
+
+class TestGaugeModes:
+    """Per-gauge merge policies (max / min / last)."""
+
+    def test_default_mode_is_max_and_snapshots_bare(self):
+        # Regression pin: a gauge without an explicit mode behaves and
+        # serializes exactly as before the modes existed.
+        registry = Registry()
+        registry.gauge("peak").set(7)
+        assert registry.gauge("peak").mode == "max"
+        assert registry.snapshot()["gauges"] == {"peak": 7}
+
+    def test_max_merge_default_is_unchanged(self):
+        a = {"gauges": {"peak": 3}}
+        b = {"gauges": {"peak": 9}}
+        merged = merge_snapshots(a, b)
+        assert merged["gauges"] == {"peak": 9}
+
+    def test_min_mode_keeps_the_low_water_mark(self):
+        registry = Registry()
+        registry.gauge("headroom", mode="min").set(0.8)
+        other = {"gauges": {"headroom": {"value": 0.3, "mode": "min"}}}
+        registry.merge(other)
+        registry.merge({"gauges": {"headroom": {"value": 0.5,
+                                                "mode": "min"}}})
+        assert registry.gauge("headroom").value == 0.3
+        assert registry.snapshot()["gauges"]["headroom"] == {
+            "value": 0.3, "mode": "min"}
+
+    def test_last_mode_takes_the_incoming_value(self):
+        a = {"gauges": {"risk": {"value": 0.2, "mode": "last"}}}
+        b = {"gauges": {"risk": {"value": 0.7, "mode": "last"}}}
+        merged = merge_snapshots(a, b)
+        assert merged["gauges"]["risk"] == {"value": 0.7, "mode": "last"}
+
+    def test_unknown_mode_is_rejected(self):
+        with pytest.raises(ConfigurationError, match="unknown merge mode"):
+            Registry().gauge("g", mode="median")
+
+    def test_mode_mismatch_on_reuse_is_rejected(self):
+        registry = Registry()
+        registry.gauge("g", mode="min")
+        registry.gauge("g")  # None = don't care
+        with pytest.raises(ConfigurationError, match="merge mode"):
+            registry.gauge("g", mode="max")
+
+    def test_mode_mismatch_between_snapshots_is_rejected(self):
+        a = {"gauges": {"g": {"value": 1, "mode": "min"}}}
+        b = {"gauges": {"g": {"value": 2, "mode": "last"}}}
+        with pytest.raises(ConfigurationError, match="differs between"):
+            merge_snapshots(a, b)
+
+    def test_bad_snapshot_mode_is_rejected(self):
+        bad = {"gauges": {"g": {"value": 1, "mode": "median"}}}
+        with pytest.raises(ConfigurationError, match="bad merge mode"):
+            merge_snapshots(bad, {})
+
+    def test_gauge_payload_and_value_accept_both_forms(self):
+        assert gauge_payload("g", 4) == (4, "max")
+        assert gauge_payload("g", {"value": 2.5, "mode": "min"}) \
+            == (2.5, "min")
+        assert gauge_value(4) == 4
+        assert gauge_value({"value": 2.5, "mode": "last"}) == 2.5
+
+    def test_session_set_gauge_forwards_the_mode(self):
+        session = TelemetrySession()
+        session.set_gauge("headroom", 0.4, mode="min")
+        assert session.registry.gauge("headroom").mode == "min"
 
 
 class TestHistogram:

@@ -18,13 +18,17 @@ from repro.serve import ServeConfig, ServiceEngine
 from repro.workloads import (CHUNK, FTLConfig, PageMappingFTL, Phase,
                              PhasedWorkload, TraceMeta, TraceReader,
                              TraceReplay, canonical_bytes, check_canonical,
+                             convert_msr, fold_addresses,
                              per_shard_streams, phase_shifting_hotspot,
-                             read_meta, record_workload, sequential_workload,
-                             shard_digests, stream_digest, uniform_workload,
-                             write_records, zipf_workload)
+                             read_meta, read_msr_csv, record_workload,
+                             sequential_workload, shard_digests,
+                             stream_digest, uniform_workload, write_records,
+                             zipf_workload)
 from repro.workloads.__main__ import main as workloads_main
+from repro.workloads.convert import parse_msr_row
 
 GOLDEN = Path(__file__).parent / "data" / "golden_workload.trace"
+MSR_SAMPLE = Path(__file__).parent / "data" / "msr_sample.csv"
 
 
 # ------------------------------------------------------------- generators
@@ -469,6 +473,115 @@ class TestCli:
     def test_missing_file_is_exit_2(self, tmp_path, capsys):
         missing = tmp_path / "nope.trace"
         assert workloads_main(["describe", str(missing)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+# ----------------------------------------------------- MSR conversion
+
+
+class TestConvert:
+    def test_row_spans_every_touched_block(self):
+        # 8 KiB starting mid-block at 4 KiB granularity: 3 blocks.
+        requests = parse_msr_row("1,host,0,6144,8192,Write", 1, 4096)
+        assert requests == [(1, True), (2, True), (3, True)]
+        requests = parse_msr_row("1,host,0,4096,4096,Read", 1, 4096)
+        assert requests == [(1, False)]
+
+    def test_size_zero_touches_the_offset_block(self):
+        assert parse_msr_row("1,h,0,8192,0,Read", 1, 4096) == [(2, False)]
+
+    def test_tag_spellings(self):
+        for tag in ("W", "write", "WS"):
+            assert parse_msr_row(f"1,h,0,0,1,{tag}", 1, 4096)[0][1] is True
+        for tag in ("R", "Read", "rs"):
+            assert parse_msr_row(f"1,h,0,0,1,{tag}", 1, 4096)[0][1] is False
+
+    def test_malformed_rows_are_rejected(self):
+        with pytest.raises(ConfigurationError, match="6 CSV fields"):
+            parse_msr_row("1,2,3", 7, 4096)
+        with pytest.raises(ConfigurationError, match="must be integers"):
+            parse_msr_row("1,h,0,abc,1,R", 7, 4096)
+        with pytest.raises(ConfigurationError, match="negative"):
+            parse_msr_row("1,h,0,-1,1,R", 7, 4096)
+        with pytest.raises(ConfigurationError, match="unknown request"):
+            parse_msr_row("1,h,0,0,1,flush", 7, 4096)
+
+    def test_read_skips_header_comments_and_blanks(self, tmp_path):
+        src = tmp_path / "t.csv"
+        src.write_text("timestamp,host,disk,offset,size,type\n"
+                       "# a comment\n\n"
+                       "100,h,0,0,4096,Write\n"
+                       "101,h,0,4096,4096,Read\n")
+        records = read_msr_csv(src)
+        assert records.tolist() == [[0, 1], [1, 0]]
+
+    def test_empty_file_is_an_error(self, tmp_path):
+        src = tmp_path / "empty.csv"
+        src.write_text("# nothing here\n")
+        with pytest.raises(ConfigurationError, match="no requests"):
+            read_msr_csv(src)
+
+    def test_fold_wraps_or_sizes_to_max(self):
+        records = np.array([[5, 1], [1029, 0]], dtype=np.int64)
+        folded, blocks = fold_addresses(records, 1024)
+        assert blocks == 1024
+        assert folded[:, 0].tolist() == [5, 5]
+        sized, blocks = fold_addresses(records, None)
+        assert blocks == 1030
+        assert sized[:, 0].tolist() == [5, 1029]
+        with pytest.raises(ConfigurationError, match="positive"):
+            fold_addresses(records, 0)
+
+    def test_fixture_converts_to_the_pinned_shape(self, tmp_path):
+        out = tmp_path / "msr.trace"
+        meta = convert_msr(MSR_SAMPLE, out, block_bytes=4096, blocks=1024)
+        assert meta.requests == 93
+        assert meta.virtual_blocks == 1024
+        assert meta.write_ratio == pytest.approx(0.710, abs=5e-4)
+        assert meta.extra == {"source": "msr-csv", "block_bytes": 4096,
+                              "folded": True}
+        assert check_canonical(out)
+        replay = TraceReplay.load(out)
+        assert len(replay.records) == 93
+
+    def test_conversion_is_deterministic(self, tmp_path):
+        a, b = tmp_path / "a.trace", tmp_path / "b.trace"
+        convert_msr(MSR_SAMPLE, a, blocks=1024)
+        convert_msr(MSR_SAMPLE, b, blocks=1024)
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_converted_trace_replays_through_the_array(self, tmp_path):
+        out = tmp_path / "msr.trace"
+        # The array exposes whole pages below the gap block, so fold
+        # the trace into exactly its software-visible global space.
+        config = ArrayConfig(num_shards=4, shard_blocks=256,
+                             mean_endurance=50.0, batch_writes=93,
+                             seed=3)
+        decoder = InterleavedDecoder(config.num_shards,
+                                     config.software_blocks)
+        convert_msr(MSR_SAMPLE, out, blocks=decoder.global_blocks)
+        workload = trace_workload(decoder, str(out), seed=3)
+        from repro.array import ArrayEngine
+        result = ArrayEngine(config, workload, label="msr",
+                             jobs=1).run()
+        assert result.report.total_writes > 0
+
+    def test_convert_cli(self, tmp_path, capsys):
+        out = tmp_path / "msr.trace"
+        code = workloads_main(["convert", str(MSR_SAMPLE), "--out",
+                               str(out), "--blocks", "1024", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["meta"]["requests"] == 93
+        assert payload["meta"]["extra"]["folded"] is True
+        assert workloads_main(["replay", str(out), "--check"]) == 0
+        assert "canonical: ok" in capsys.readouterr().out
+
+    def test_convert_cli_missing_file_is_exit_2(self, tmp_path, capsys):
+        missing = tmp_path / "nope.csv"
+        code = workloads_main(["convert", str(missing), "--out",
+                               str(tmp_path / "o.trace")])
+        assert code == 2
         assert "error:" in capsys.readouterr().err
 
 
